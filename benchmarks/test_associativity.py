@@ -1,0 +1,26 @@
+"""Section 4.3's associativity note: two-way set-associative PIM caches
+produce noticeably more bus traffic than four-way (Matsumoto measured
++18 % for BUP) and direct-mapped caches are far worse."""
+
+
+def test_associativity(benchmark, workloads, save_result):
+    from repro.analysis.figures import associativity_sweep
+
+    sweep = benchmark.pedantic(
+        associativity_sweep, args=(workloads,), kwargs={"ways": (1, 2, 4, 8)},
+        rounds=1, iterations=1,
+    )
+    save_result("associativity", sweep.render())
+
+    relative = sweep.series["relative to 4-way"]
+    for name, series in relative.items():
+        direct, two_way, four_way, eight_way = series
+        assert four_way == 1.0
+        # Two-way costs extra traffic over four-way...
+        assert two_way > 1.02, name
+        # ...and direct-mapped costs significantly more.
+        assert direct > 1.5, name
+        assert direct > two_way, name
+        # Returns diminish: 2->4 ways saves more than 4->8 ways.
+        assert (two_way - four_way) > (four_way - eight_way), name
+        assert eight_way > 0.6, name

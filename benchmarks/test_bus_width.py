@@ -1,0 +1,17 @@
+"""Section 4.4: a two-word bus cuts traffic to 62-75 % of the one-word
+bus, roughly independent of the benchmark."""
+
+
+def test_bus_width(benchmark, workloads, save_result):
+    from repro.analysis.figures import bus_width_study
+
+    sweep = benchmark.pedantic(
+        bus_width_study, args=(workloads,), rounds=1, iterations=1
+    )
+    save_result("bus_width", sweep.render())
+
+    ratios = {name: series[2] for name, series in sweep.series["bus"].items()}
+    for name, ratio in ratios.items():
+        assert 0.55 < ratio < 0.85, (name, ratio)  # paper: 0.62-0.75
+    # Insensitive to the benchmark: a narrow spread.
+    assert max(ratios.values()) - min(ratios.values()) < 0.15

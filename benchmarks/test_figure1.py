@@ -1,0 +1,31 @@
+"""Figure 1: cache block size vs miss ratio and bus traffic.
+
+Paper shape: miss ratio improves steadily with block size, but bus
+traffic barely differs between two- and four-word blocks and becomes
+"restrictive" above four words — logic programs lack the spatial
+locality to feed long blocks.
+"""
+
+
+def test_figure1(benchmark, workloads, save_result):
+    from repro.analysis.figures import figure1
+
+    sweep = benchmark.pedantic(
+        figure1, args=(workloads,), kwargs={"block_sizes": (1, 2, 4, 8, 16)},
+        rounds=1, iterations=1,
+    )
+    save_result("figure1", sweep.render())
+
+    for name, miss in sweep.series["miss ratio"].items():
+        # Miss ratio falls monotonically (within noise) with block size.
+        for before, after in zip(miss, miss[1:]):
+            assert after <= before * 1.10, name
+
+    for name, bus in sweep.series["bus cycles"].items():
+        one, two, four, eight, sixteen = bus
+        # Two- and four-word blocks are close (paper: "relatively small").
+        assert abs(four - two) / two < 0.35, name
+        # Above four words the traffic blows up despite better hit rates.
+        assert sixteen > 1.5 * four, name
+        # The sweet spot is at small blocks, not at one word either.
+        assert min(two, four) <= one, name

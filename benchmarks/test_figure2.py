@@ -1,0 +1,42 @@
+"""Figure 2: cache capacity vs miss ratio and bus traffic.
+
+Paper shape: both curves knee around the 8-Kword point; Semi's small
+working set is captured by even the smallest cache; Puzzle — with the
+largest data structures — keeps converting capacity into traffic
+reduction the longest.
+"""
+
+
+def test_figure2(benchmark, workloads, save_result):
+    from repro.analysis.figures import figure2
+
+    capacities = (512, 1024, 2048, 4096, 8192, 16384)
+    sweep = benchmark.pedantic(
+        figure2, args=(workloads,), kwargs={"capacities": capacities},
+        rounds=1, iterations=1,
+    )
+    save_result("figure2", sweep.render())
+
+    # The x-axis in bits reproduces the paper's "4 Kword = 190000 bits".
+    assert sweep.total_bits[capacities.index(4096)] == 189440
+
+    miss = sweep.series["miss ratio"]
+    bus = sweep.series["bus cycles"]
+
+    for name in miss:
+        # More capacity never hurts.
+        for before, after in zip(miss[name], miss[name][1:]):
+            assert after <= before * 1.02, name
+        for before, after in zip(bus[name], bus[name][1:]):
+            assert after <= before * 1.05, name
+
+    def relative_gain(series):
+        return (series[0] - series[-1]) / series[0]
+
+    # Semi's working set fits early: capacity barely helps it.
+    assert relative_gain(bus["semi"]) < 0.35  # paper: nearly flat
+    # Puzzle gains the most from capacity (largest structures).
+    assert relative_gain(bus["puzzle"]) == max(
+        relative_gain(series) for series in bus.values()
+    )
+    assert relative_gain(bus["puzzle"]) > 0.5

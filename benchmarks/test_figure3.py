@@ -1,0 +1,42 @@
+"""Figure 3: number of PEs vs bus traffic.
+
+Paper shape: total bus traffic grows with PE count (Tri most
+dramatically — its many small tasks keep the scheduler busy); the
+communication area's share of bus cycles grows from ~0 % at one PE to a
+major share at eight, while the heap's share falls correspondingly.
+"""
+
+
+def test_figure3(benchmark, workloads, save_result):
+    from repro.analysis.figures import figure3
+
+    sweep = benchmark.pedantic(
+        figure3, args=(workloads,), kwargs={"pe_counts": (1, 2, 4, 8)},
+        rounds=1, iterations=1,
+    )
+    save_result("figure3", sweep.render())
+
+    bus = sweep.series["bus cycles"]
+    comm = sweep.series["comm % of bus"]
+    heap = sweep.series["heap % of bus"]
+
+    for name in bus:
+        # Parallel execution never *reduces* traffic much (Puzzle stays
+        # roughly flat: its capacity misses dominate, and eight caches
+        # bring more aggregate capacity), and the scheduler-bound
+        # benchmarks grow substantially.
+        assert bus[name][-1] > 0.85 * bus[name][0], name
+    for name in ("tri", "semi", "pascal"):
+        assert bus[name][-1] > 1.5 * bus[name][0], name
+        # Communication is negligible at one PE and substantial at eight.
+        assert comm[name][0] < 1.0, name
+        assert comm[name][-1] > 5.0, name
+        assert comm[name][-1] > comm[name][0], name
+        # The heap's share falls as scheduler traffic moves in.
+        assert heap[name][-1] < heap[name][0], name
+
+    # Tri's load distribution makes it the benchmark whose traffic grows
+    # the most going parallel (paper Section 4.5).
+    growth = {name: bus[name][-1] / bus[name][0] for name in bus}
+    assert growth["tri"] > growth["puzzle"]
+    assert growth["tri"] > 2.0

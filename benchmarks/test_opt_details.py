@@ -1,0 +1,26 @@
+"""Section 4.6's per-mechanism detail: DW reduces heap-driven swap-ins
+(paper: to 10-55 %), the goal commands reduce swap-outs, and RI removes
+a large fraction of invalidate bus commands (paper: 60-70 %)."""
+
+
+def test_optimization_details(benchmark, workloads, save_result):
+    from repro.analysis.figures import optimization_details
+
+    detail = benchmark.pedantic(
+        optimization_details, args=(workloads,), rounds=1, iterations=1
+    )
+    save_result("opt_details", detail.render())
+
+    for name, ratio in detail.heap_swap_in_ratio.items():
+        assert ratio < 0.9, (name, ratio)
+    # The structure-creation benchmarks approach the paper's band.
+    assert detail.heap_swap_in_ratio["puzzle"] < 0.3  # paper: 0.55 for Puzzle
+    assert detail.heap_swap_in_ratio["tri"] < 0.7  # paper: 0.10 for Tri
+
+    for name, ratio in detail.goal_swap_out_ratio.items():
+        assert ratio <= 1.0, (name, ratio)
+
+    ratios = detail.comm_invalidate_ratio
+    for name, ratio in ratios.items():
+        assert ratio < 0.96, (name, ratio)  # RI removes I commands
+    assert sum(ratios.values()) / len(ratios) < 0.9

@@ -1,0 +1,40 @@
+"""Table 1: benchmark summary on eight PEs.
+
+Paper values (full-scale workloads): 104-310 source lines, speedups
+4.8-6.5 on eight PEs, 0.27-0.85 M reductions, 4.8-29 M references.
+Scaled-down workloads shrink the counts; the *shape* checks below assert
+what transfers: real parallel speedup for the search benchmarks, Tri
+with the fewest suspensions relative to reductions, reference counts
+tens of times larger than reduction counts.
+"""
+
+
+def test_table1(benchmark, workloads, save_result):
+    from repro.analysis.tables import table1
+
+    table = benchmark.pedantic(table1, args=(workloads,), rounds=1, iterations=1)
+    save_result("table1", table.render())
+
+    rows = {row["bench"]: row for row in table.rows}
+    assert set(rows) == {"Tri", "Semi", "Puzzle", "Pascal"}
+
+    for name, row in rows.items():
+        assert row["reductions"] > 5_000, name
+        # The architecture touches memory tens of times per reduction
+        # (the paper: ~40 refs/reduction).
+        assert 10 < row["refs"] / row["reductions"] < 120, name
+        # Instructions are a large minority of references (paper: 43 %).
+        assert 0.15 < row["instructions"] / row["refs"] < 0.6, name
+        assert row["speedup"] > 0.8, name
+
+    # The parallel search benchmarks show real speedup on 8 PEs.
+    assert rows["Puzzle"]["speedup"] > 3.0
+    assert rows["Tri"]["speedup"] > 2.0
+
+    # Tri is the (nearly) suspension-free benchmark of the suite.
+    susp_rate = {
+        name: row["suspensions"] / row["reductions"] for name, row in rows.items()
+    }
+    assert susp_rate["Tri"] < 0.1
+    # Semi and Pascal are the stream-suspension benchmarks.
+    assert susp_rate["Semi"] > susp_rate["Puzzle"]

@@ -1,0 +1,36 @@
+"""Table 2: % memory references and bus cycles by storage area.
+
+Paper (unoptimized base cache, eight PEs): instructions are 43 % of
+references but only 4.5 % of bus cycles; the heap is ~34 % of references
+but ~66 % of bus cycles (low locality, huge dynamic size); goal +
+communication areas take ~29 % of bus cycles; the communication area is
+"particularly troublesome" — under 2 % of references, over 17 % of bus
+cycles.
+"""
+
+
+def test_table2(benchmark, workloads, save_result):
+    from repro.analysis.tables import table2
+
+    table = benchmark.pedantic(table2, args=(workloads,), rounds=1, iterations=1)
+    save_result("table2", table.render())
+
+    # The cache kills the instruction bandwidth requirement: a large
+    # minority of references, a tiny share of bus cycles.
+    assert table.ref_mean["inst"] > 15
+    assert table.bus_mean["inst"] < 12
+    assert table.bus_mean["inst"] < table.ref_mean["inst"] / 2
+
+    # The heap's bus share exceeds its reference share (poor locality).
+    assert table.bus_mean["heap"] > table.ref_mean["heap"]
+    # Heap dominates data bus cycles on the structure-heavy benchmarks.
+    per_bench = {row["bench"]: row for row in table.bus_rows}
+    assert per_bench["Puzzle"]["heap"] > 60  # paper: 81 %
+    assert per_bench["Pascal"]["heap"] > 40  # paper: 59 %
+
+    # The communication area punches far above its reference weight.
+    assert table.bus_mean["comm"] > 2 * table.ref_mean["comm"]
+
+    # The suspension area stays marginal in both measures (paper: <3 %).
+    assert table.ref_mean["susp"] < 3
+    assert table.bus_mean["susp"] < 8

@@ -1,0 +1,27 @@
+"""Table 5: hit ratios of the no-cost lock operations.
+
+Paper: LR hits 0.74-0.96 of the time, almost all of those into
+exclusive blocks (zero bus cycles), and 0.976-0.999 of unlocks find no
+waiter (no UL broadcast) — the three-state lock protocol makes locking
+nearly free.
+"""
+
+
+def test_table5(benchmark, workloads, save_result):
+    from repro.analysis.tables import table5
+
+    table = benchmark.pedantic(table5, args=(workloads,), rounds=1, iterations=1)
+    save_result("table5", table.render())
+
+    rows = {row["bench"]: row for row in table.rows}
+    for name, row in rows.items():
+        # Unlocks essentially never find a waiter (paper: >= 0.976).
+        assert row["no_waiter"] >= 0.95, name
+        # Exclusive hits are the bulk of all LR hits.
+        assert row["lr_exclusive"] <= row["lr_hit"], name
+        if row["lr_hit"] > 0:
+            assert row["lr_exclusive"] / row["lr_hit"] > 0.6, name
+
+    # The compute-heavy benchmarks lock mostly-local data: high ratios.
+    assert rows["Puzzle"]["lr_hit"] > 0.85  # paper: 0.959
+    assert rows["Tri"]["lr_hit"] > 0.6  # paper: 0.743

@@ -1,0 +1,87 @@
+"""Run your own FGHC program on the simulated machine.
+
+This example implements a stream-parallel prime sieve (the classic
+committed-choice process network): a generator streams integers into a
+growing pipeline of filter processes, one per prime found.  It shows the
+full public workflow:
+
+1. write FGHC source,
+2. run it on a :class:`~repro.machine.machine.KL1Machine` over the PIM
+   cache (execution-driven),
+3. inspect the answer, the suspension behaviour and the cache stats,
+4. replay the captured trace against other cache geometries.
+
+Usage::
+
+    python examples/custom_program.py [limit]
+"""
+
+import sys
+
+from repro.core.config import CacheConfig, MachineConfig, SimulationConfig
+from repro.core.replay import replay
+from repro.machine.machine import KL1Machine
+
+SIEVE = """
+% primes(N, Ps): Ps is the list of primes up to N, via a pipeline of
+% filter processes -- each prime spawns a filter on the stream.
+primes(N, Ps) :- gen(2, N, S), sift(S, Ps).
+
+gen(I, N, S) :- I > N | S = [].
+gen(I, N, S) :- I =< N | S = [I|S2], I1 := I + 1, gen(I1, N, S2).
+
+sift([], Ps) :- Ps = [].
+sift([P|S], Ps) :- Ps = [P|Ps2], filter(P, S, S2), sift(S2, Ps2).
+
+filter(P, [], Out) :- Out = [].
+filter(P, [X|Xs], Out) :- X mod P =:= 0 | filter(P, Xs, Out).
+filter(P, [X|Xs], Out) :- X mod P =\\= 0 |
+    Out = [X|Out2], filter(P, Xs, Out2).
+
+main(N, Ps) :- primes(N, Ps).
+"""
+
+
+def python_primes(limit):
+    sieve = [True] * (limit + 1)
+    result = []
+    for candidate in range(2, limit + 1):
+        if sieve[candidate]:
+            result.append(candidate)
+            for multiple in range(candidate * candidate, limit + 1, candidate):
+                sieve[multiple] = False
+    return result
+
+
+def main() -> None:
+    limit = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+
+    machine = KL1Machine(SIEVE, MachineConfig(n_pes=4, seed=1))
+    result = machine.run(f"main({limit}, Ps)")
+    primes = result.answer["Ps"]
+
+    expected = python_primes(limit)
+    status = "matches" if primes == expected else "MISMATCH with"
+    print(f"primes up to {limit}: {len(primes)} found, {status} the sieve oracle")
+    print(f"  {primes[:15]}{' ...' if len(primes) > 15 else ''}")
+    print(f"\nreductions {result.reductions:,}, suspensions {result.suspensions:,} "
+          "(each filter process suspends at its input stream's tail)")
+    print(f"memory references {result.memory_refs:,}, "
+          f"bus cycles {result.stats.bus_cycles_total:,}, "
+          f"miss ratio {result.stats.miss_ratio:.4f}")
+
+    print("\nReplaying the trace against different block sizes:")
+    for block_words in (1, 2, 4, 8, 16):
+        config = SimulationConfig(
+            cache=CacheConfig.from_capacity(4096, block_words=block_words)
+        )
+        stats = replay(result.trace, config)
+        bar = "#" * round(stats.bus_cycles_total / 2500)
+        print(f"  {block_words:>2}-word blocks: miss {stats.miss_ratio:.4f}  "
+              f"bus {stats.bus_cycles_total:>9,}  {bar}")
+    print("\nThe four-word sweet spot (Figure 1's shape) shows on your own")
+    print("programs, not just the paper's benchmarks.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package installs in environments without the ``wheel`` package (where
+PEP 660 editable installs are unavailable)::
+
+    pip install -e . --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

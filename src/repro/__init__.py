@@ -1,0 +1,63 @@
+"""Reproduction of the ISCA 1989 PIM coherent cache for parallel logic
+programming architectures (Goto, Matsumoto, Tick; ICOT).
+
+The package is organized around three layers:
+
+``repro.machine``
+    A from-scratch KL1/FGHC abstract machine: parser, clause compiler,
+    tagged heap, goal list, suspension records, on-demand scheduler, and a
+    multi-PE reduction engine that emits an instrumented memory-reference
+    stream across the paper's five storage areas.
+
+``repro.core``
+    The paper's contribution: a five-state (EM/EC/SM/S/INV) copy-back
+    snooping cache with a separate hardware lock directory and the four
+    software-controlled memory commands (direct write, exclusive read,
+    read purge, read invalidate), plus the one-word-bus cost model.
+
+``repro.analysis``
+    The experiment harness regenerating every table and figure of the
+    paper's evaluation section.
+
+Quickstart::
+
+    from repro import run_benchmark
+
+    result = run_benchmark("tri", n_pes=8, scale="small")
+    print(result.stats.bus_cycles_total)
+"""
+
+from repro.core.config import (
+    BusConfig,
+    CacheConfig,
+    MachineConfig,
+    OptimizationConfig,
+    SimulationConfig,
+)
+from repro.core.states import CacheState, LockState
+from repro.core.stats import SystemStats
+from repro.core.system import PIMCacheSystem
+from repro.trace.events import Area, MemRef, Op
+from repro.trace.buffer import TraceBuffer
+from repro.analysis.runner import BenchmarkResult, run_benchmark, replay_trace
+
+__all__ = [
+    "Area",
+    "BenchmarkResult",
+    "BusConfig",
+    "CacheConfig",
+    "CacheState",
+    "LockState",
+    "MachineConfig",
+    "MemRef",
+    "Op",
+    "OptimizationConfig",
+    "PIMCacheSystem",
+    "SimulationConfig",
+    "SystemStats",
+    "TraceBuffer",
+    "replay_trace",
+    "run_benchmark",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,34 @@
+"""The experiment harness: regenerates every table and figure of the
+paper's evaluation (Section 4).
+
+Typical use::
+
+    from repro.analysis import Workloads, tables, figures
+
+    workloads = Workloads(scale="small")
+    print(tables.table4(workloads).render())
+    print(figures.figure1(workloads).render())
+
+All experiments share the :class:`~repro.analysis.runner.Workloads`
+cache, so each benchmark is emulated once per PE count and the cache
+sweeps replay the captured trace.
+"""
+
+from repro.analysis import figures, tables
+from repro.analysis.runner import (
+    BenchmarkResult,
+    Workloads,
+    replay_trace,
+    run_benchmark,
+    unoptimized_config,
+)
+
+__all__ = [
+    "BenchmarkResult",
+    "Workloads",
+    "figures",
+    "replay_trace",
+    "run_benchmark",
+    "tables",
+    "unoptimized_config",
+]

@@ -1,0 +1,293 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run``
+    Execute a named paper benchmark or an FGHC source file on the
+    simulated machine and print the machine/cache summary.
+``tables``
+    Regenerate the paper's Tables 1-5.
+``figures``
+    Regenerate the paper's Figures 1-3 and the secondary sweeps.
+``trace``
+    Record a benchmark's reference stream to a file, or replay a trace
+    file against a chosen cache geometry.
+``listing``
+    Show the compiled abstract-machine code of a program.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis import figures as figures_module
+from repro.analysis import tables as tables_module
+from repro.analysis.runner import Workloads, run_benchmark
+from repro.core.config import (
+    BusConfig,
+    CacheConfig,
+    MachineConfig,
+    OptimizationConfig,
+    SimulationConfig,
+)
+from repro.core.replay import replay
+from repro.machine.compiler import compile_program
+from repro.machine.machine import KL1Machine
+from repro.programs import names as benchmark_names
+from repro.trace.io import read_trace, write_trace
+
+TABLES = {
+    "1": tables_module.table1,
+    "2": tables_module.table2,
+    "3": tables_module.table3,
+    "4": tables_module.table4,
+    "5": tables_module.table5,
+}
+
+FIGURES = {
+    "1": figures_module.figure1,
+    "2": figures_module.figure2,
+    "3": figures_module.figure3,
+    "assoc": figures_module.associativity_sweep,
+    "width": figures_module.bus_width_study,
+    "details": figures_module.optimization_details,
+}
+
+
+def _sim_config(args) -> SimulationConfig:
+    cache = CacheConfig.from_capacity(
+        args.capacity, block_words=args.block_words, associativity=args.ways
+    )
+    opts = OptimizationConfig.none() if args.no_opt else OptimizationConfig.all()
+    return SimulationConfig(
+        cache=cache,
+        bus=BusConfig(width_words=args.bus_width),
+        opts=opts,
+        protocol=args.protocol,
+    )
+
+
+def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--capacity", type=int, default=4096,
+                        help="cache data capacity in words (default 4096)")
+    parser.add_argument("--block-words", type=int, default=4,
+                        help="cache block size in words (default 4)")
+    parser.add_argument("--ways", type=int, default=4,
+                        help="set associativity (default 4)")
+    parser.add_argument("--bus-width", type=int, default=1,
+                        help="bus width in words (default 1)")
+    parser.add_argument("--protocol", default="pim",
+                        choices=["pim", "illinois", "write_through", "write_update"])
+    parser.add_argument("--no-opt", action="store_true",
+                        help="demote DW/ER/RP/RI to plain reads and writes")
+
+
+def _print_run_summary(result) -> None:
+    machine = result if hasattr(result, "reductions") else result.machine
+    print(f"answer:        {machine.answer}")
+    print(f"reductions:    {machine.reductions:,}")
+    print(f"suspensions:   {machine.suspensions:,}")
+    print(f"instructions:  {machine.instructions:,}")
+    print(f"memory refs:   {machine.memory_refs:,}")
+    print(f"heap words:    {machine.heap_words:,}")
+    print(f"per-PE load:   {machine.pe_reductions}")
+    if machine.gc_collections:
+        print(f"collections:   {machine.gc_collections} "
+              f"({machine.gc_words_reclaimed:,} words reclaimed)")
+    stats = machine.stats
+    if stats is not None:
+        print(f"miss ratio:    {stats.miss_ratio:.4f}")
+        print(f"bus cycles:    {stats.bus_cycles_total:,}")
+        print(f"sim cycles:    {stats.total_cycles:,}")
+
+
+def cmd_run(args) -> int:
+    machine_config = MachineConfig(
+        n_pes=args.pes, seed=args.seed, gc_threshold_words=args.gc
+    )
+    if args.program in benchmark_names():
+        result = run_benchmark(
+            args.program,
+            scale=args.scale,
+            n_pes=args.pes,
+            sim_config=_sim_config(args),
+            machine_config=machine_config,
+        )
+        print(f"benchmark {args.program!r} at scale {args.scale!r} "
+              f"on {args.pes} PEs  [answer verified]")
+        _print_run_summary(result)
+        if args.output:
+            write_trace(result.trace, args.output)
+            print(f"trace written: {args.output} ({len(result.trace):,} refs)")
+        return 0
+    path = Path(args.program)
+    if not path.exists():
+        print(f"error: {args.program!r} is neither a benchmark "
+              f"({', '.join(benchmark_names())}) nor a file", file=sys.stderr)
+        return 2
+    if not args.query:
+        print("error: running a source file requires --query", file=sys.stderr)
+        return 2
+    machine = KL1Machine(path.read_text(), machine_config, _sim_config(args))
+    result = machine.run(args.query)
+    _print_run_summary(result)
+    if args.output and result.trace is not None:
+        write_trace(result.trace, args.output)
+        print(f"trace written: {args.output} ({len(result.trace):,} refs)")
+    return 0
+
+
+def cmd_tables(args) -> int:
+    workloads = Workloads(scale=args.scale)
+    which = args.which.split(",") if args.which else list(TABLES)
+    for key in which:
+        builder = TABLES.get(key)
+        if builder is None:
+            print(f"error: unknown table {key!r} (choose from 1-5)",
+                  file=sys.stderr)
+            return 2
+        print(builder(workloads).render())
+        print()
+    return 0
+
+
+def cmd_figures(args) -> int:
+    workloads = Workloads(scale=args.scale)
+    which = args.which.split(",") if args.which else list(FIGURES)
+    for key in which:
+        builder = FIGURES.get(key)
+        if builder is None:
+            print(f"error: unknown figure {key!r} "
+                  f"(choose from {', '.join(FIGURES)})", file=sys.stderr)
+            return 2
+        print(builder(workloads).render())
+        print()
+    return 0
+
+
+def cmd_trace(args) -> int:
+    if args.trace_command == "record":
+        result = run_benchmark(args.benchmark, scale=args.scale, n_pes=args.pes)
+        write_trace(result.trace, args.output)
+        print(f"{args.benchmark}/{args.scale} on {args.pes} PEs: "
+              f"{len(result.trace):,} refs -> {args.output}")
+        return 0
+    buffer = read_trace(args.file)
+    stats = replay(buffer, _sim_config(args))
+    print(f"replayed {stats.total_refs:,} refs from {args.file}")
+    print(f"miss ratio:  {stats.miss_ratio:.4f}")
+    print(f"bus cycles:  {stats.bus_cycles_total:,}")
+    print(f"swap-ins:    {stats.swap_ins:,}   swap-outs: {stats.swap_outs:,}")
+    print(f"c2c:         {stats.c2c_transfers:,}")
+    return 0
+
+
+def cmd_listing(args) -> int:
+    if args.program in benchmark_names():
+        from repro.programs import get
+
+        source = get(args.program).source
+    else:
+        path = Path(args.program)
+        if not path.exists():
+            print(f"error: no such benchmark or file: {args.program!r}",
+                  file=sys.stderr)
+            return 2
+        source = path.read_text()
+    print(compile_program(source).listing())
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import generate_report
+
+    text = generate_report(scale=args.scale)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"report written: {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PIM coherent cache reproduction (ISCA 1989)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser(
+        "run", help="run a benchmark or an FGHC source file"
+    )
+    run_parser.add_argument("program",
+                            help="benchmark name (tri/semi/puzzle/pascal) or .fghc path")
+    run_parser.add_argument("--query", help="query goal for source files")
+    run_parser.add_argument("--scale", default="small",
+                            choices=["tiny", "small", "medium", "paper"])
+    run_parser.add_argument("--pes", type=int, default=8)
+    run_parser.add_argument("--seed", type=int, default=1)
+    run_parser.add_argument("--gc", type=int, default=None,
+                            help="per-PE heap words triggering stop-and-copy GC")
+    run_parser.add_argument("--output", "-o", help="write the trace to a file")
+    _add_cache_options(run_parser)
+    run_parser.set_defaults(handler=cmd_run)
+
+    tables_parser = commands.add_parser("tables", help="regenerate Tables 1-5")
+    tables_parser.add_argument("--scale", default="small",
+                               choices=["tiny", "small", "medium", "paper"])
+    tables_parser.add_argument("--which", help="comma-separated subset, e.g. 2,4")
+    tables_parser.set_defaults(handler=cmd_tables)
+
+    figures_parser = commands.add_parser("figures",
+                                         help="regenerate Figures 1-3 and sweeps")
+    figures_parser.add_argument("--scale", default="small",
+                                choices=["tiny", "small", "medium", "paper"])
+    figures_parser.add_argument("--which",
+                                help="comma-separated subset of "
+                                     "1,2,3,assoc,width,details")
+    figures_parser.set_defaults(handler=cmd_figures)
+
+    trace_parser = commands.add_parser("trace", help="record or replay traces")
+    trace_commands = trace_parser.add_subparsers(dest="trace_command",
+                                                 required=True)
+    record = trace_commands.add_parser("record")
+    record.add_argument("benchmark", choices=list(benchmark_names()))
+    record.add_argument("--scale", default="small",
+                        choices=["tiny", "small", "medium", "paper"])
+    record.add_argument("--pes", type=int, default=8)
+    record.add_argument("--output", "-o", required=True)
+    record.set_defaults(handler=cmd_trace)
+    replay_parser = trace_commands.add_parser("replay")
+    replay_parser.add_argument("file")
+    _add_cache_options(replay_parser)
+    replay_parser.set_defaults(handler=cmd_trace)
+
+    listing_parser = commands.add_parser(
+        "listing", help="show a program's compiled abstract-machine code"
+    )
+    listing_parser.add_argument("program")
+    listing_parser.set_defaults(handler=cmd_listing)
+
+    report_parser = commands.add_parser(
+        "report", help="regenerate the full experiment report"
+    )
+    report_parser.add_argument("--scale", default="small",
+                               choices=["tiny", "small", "medium", "paper"])
+    report_parser.add_argument("--output", "-o",
+                               help="write to a file instead of stdout")
+    report_parser.set_defaults(handler=cmd_report)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

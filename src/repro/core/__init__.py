@@ -1,0 +1,51 @@
+"""The PIM cache: the paper's primary contribution.
+
+This package implements the five-state (EM / EC / SM / S / INV) copy-back
+snooping cache of Section 3, the separate word-granularity lock directory
+(LCK / LWAIT / EMP), the four software-controlled memory commands
+(direct write, exclusive read, read purge, read invalidate), and the
+one-word common-bus cost model of Section 4.2 with its six bus access
+patterns.
+
+:class:`~repro.core.system.PIMCacheSystem` is the multi-PE protocol
+engine.  It can be driven directly by the KL1 emulator
+(execution-driven, the paper's setup) or fed a captured
+:class:`~repro.trace.buffer.TraceBuffer` via
+:func:`~repro.core.replay.replay` (trace-driven, for parameter sweeps).
+"""
+
+from repro.core.config import (
+    BusConfig,
+    CacheConfig,
+    MachineConfig,
+    OptimizationConfig,
+    SimulationConfig,
+)
+from repro.core.states import (
+    BusCommand,
+    BusPattern,
+    CacheState,
+    LockState,
+)
+from repro.core.stats import SystemStats
+from repro.core.system import BLOCKED, PIMCacheSystem
+from repro.core.replay import replay
+from repro.core.illinois import illinois_config, pim_config
+
+__all__ = [
+    "BLOCKED",
+    "BusCommand",
+    "BusConfig",
+    "BusPattern",
+    "CacheConfig",
+    "CacheState",
+    "LockState",
+    "MachineConfig",
+    "OptimizationConfig",
+    "PIMCacheSystem",
+    "SimulationConfig",
+    "SystemStats",
+    "illinois_config",
+    "pim_config",
+    "replay",
+]

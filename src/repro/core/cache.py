@@ -1,0 +1,121 @@
+"""One PE's set-associative cache array.
+
+Only the directory (tags + states) is architecturally required; the data
+array is modelled optionally so coherence property tests can check that
+every read observes the most recent write.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.config import CacheConfig
+from repro.core.states import CacheState
+
+
+class CacheLine:
+    """A block frame: tag, protocol state, owning storage area, LRU tick."""
+
+    __slots__ = ("tag", "state", "area", "lru", "data")
+
+    def __init__(self, tag: int, state: CacheState, area: int, lru: int, data=None):
+        self.tag = tag
+        self.state = state
+        self.area = area
+        self.lru = lru
+        self.data = data
+
+    def __repr__(self) -> str:
+        return f"CacheLine(tag={self.tag:#x}, state={self.state.name}, area={self.area})"
+
+
+class Cache:
+    """Set-associative, LRU-replacement cache directory for one PE.
+
+    Blocks are identified by their *block number* (word address divided
+    by the block size); the caller performs that division once so hot
+    paths never recompute it.
+    """
+
+    __slots__ = (
+        "config",
+        "pe",
+        "track_data",
+        "_sets",
+        "_set_mask",
+        "_set_shift",
+        "_tick",
+    )
+
+    def __init__(self, config: CacheConfig, pe: int, track_data: bool = False):
+        self.config = config
+        self.pe = pe
+        self.track_data = track_data
+        self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(config.n_sets)]
+        self._set_mask = config.n_sets - 1
+        self._set_shift = config.n_sets.bit_length() - 1
+        self._tick = 0
+
+    def lookup(self, block: int) -> Optional[CacheLine]:
+        """Return the valid line holding *block*, touching LRU, else None."""
+        line = self._sets[block & self._set_mask].get(block >> self._set_shift)
+        if line is None:
+            return None
+        self._tick += 1
+        line.lru = self._tick
+        return line
+
+    def peek(self, block: int) -> Optional[CacheLine]:
+        """Like :meth:`lookup` but without disturbing LRU (for snooping)."""
+        return self._sets[block & self._set_mask].get(block >> self._set_shift)
+
+    def insert(
+        self, block: int, state: CacheState, area: int, data=None
+    ) -> Optional[Tuple[int, CacheLine]]:
+        """Place *block* into its set, evicting LRU if the set is full.
+
+        Returns ``(victim_block, victim_line)`` when a valid line had to
+        be evicted, else ``None``.  The caller is responsible for any
+        copyback the victim's state requires.
+        """
+        index = block & self._set_mask
+        tag = block >> self._set_shift
+        bucket = self._sets[index]
+        victim = None
+        if tag not in bucket and len(bucket) >= self.config.associativity:
+            victim_tag = min(bucket, key=lambda t: bucket[t].lru)
+            victim_line = bucket.pop(victim_tag)
+            victim_block = (victim_tag << self._set_shift) | index
+            victim = (victim_block, victim_line)
+        self._tick += 1
+        bucket[tag] = CacheLine(tag, state, area, self._tick, data)
+        return victim
+
+    def remove(self, block: int) -> Optional[CacheLine]:
+        """Drop *block* (invalidate or purge).  Returns the removed line."""
+        return self._sets[block & self._set_mask].pop(block >> self._set_shift, None)
+
+    def block_of(self, line_index: int, tag: int) -> int:
+        """Reconstruct a block number from set index and tag."""
+        return (tag << self._set_shift) | line_index
+
+    def lines(self) -> Iterator[Tuple[int, CacheLine]]:
+        """Iterate ``(block_number, line)`` over every valid line."""
+        for index, bucket in enumerate(self._sets):
+            for tag, line in bucket.items():
+                yield (tag << self._set_shift) | index, line
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(bucket) for bucket in self._sets)
+
+    def flush(self) -> None:
+        """Invalidate every line (used around garbage collection)."""
+        for bucket in self._sets:
+            bucket.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"Cache(pe={self.pe}, {self.config.capacity_words} words, "
+            f"{self.occupancy()}/{self.config.n_lines} lines valid)"
+        )

@@ -1,0 +1,48 @@
+"""Trace-driven replay: run a captured reference stream through a cache.
+
+The paper's tools run execution-driven (emulator and cache simulator in
+lockstep).  For parameter sweeps that is wasteful: the workload's
+reference stream does not depend on the cache geometry, so this module
+replays one captured :class:`~repro.trace.buffer.TraceBuffer` against
+any number of :class:`~repro.core.config.SimulationConfig` variants.
+
+Lock conflicts cannot re-arise during replay (the captured global order
+already serialized them), so contended operations carry a trace flag and
+the system re-enacts the LH response and UL broadcast from it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.config import SimulationConfig
+from repro.core.stats import SystemStats
+from repro.core.system import BLOCKED, PIMCacheSystem
+from repro.trace.buffer import TraceBuffer
+
+
+def replay(
+    buffer: TraceBuffer,
+    config: Optional[SimulationConfig] = None,
+    n_pes: Optional[int] = None,
+) -> SystemStats:
+    """Replay *buffer* against a fresh cache system and return its stats."""
+    if config is None:
+        config = SimulationConfig()
+    system = PIMCacheSystem(config, n_pes if n_pes is not None else buffer.n_pes)
+    access = system.access
+    for pe, op, area, addr, flags in buffer:
+        cycles, _, _ = access(pe, op, area, addr, 0, flags)
+        if cycles == BLOCKED:  # pragma: no cover - impossible in valid traces
+            raise RuntimeError(
+                f"replay blocked on PE{pe} op={op} addr={addr:#x}: "
+                "the trace's global order should already serialize locks"
+            )
+    return system.stats
+
+
+def replay_many(
+    buffer: TraceBuffer, configs: Iterable[SimulationConfig]
+) -> "list[SystemStats]":
+    """Replay the same trace against several configurations."""
+    return [replay(buffer, config) for config in configs]

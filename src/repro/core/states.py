@@ -1,0 +1,80 @@
+"""Protocol state and bus-event enumerations (paper Sections 3.1, 3.3, 4.2)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class CacheState(enum.IntEnum):
+    """The five PIM cache block states (Section 3.1).
+
+    The protocol is the Illinois protocol plus the shared-modified state
+    ``SM``, which lets a dirty block travel cache-to-cache *without* a
+    copyback to shared memory; ownership (the duty to eventually swap the
+    block out) stays with the supplier.  In modern terms EM/EC/SM/S/INV
+    play the MOESI roles M/E/O/S/I.
+    """
+
+    INV = 0  #: Invalid.
+    S = 1  #: Perhaps shared, clean with respect to this cache's duty to swap out.
+    SM = 2  #: Shared modified — perhaps shared, and this cache must swap it out.
+    EC = 3  #: Exclusive clean — sole copy, identical to shared memory.
+    EM = 4  #: Exclusive modified — sole copy, must be swapped out.
+
+
+#: States whose eviction requires a copyback to shared memory.
+DIRTY_STATES = frozenset({CacheState.EM, CacheState.SM})
+
+#: States guaranteeing no other cache holds the block.
+EXCLUSIVE_STATES = frozenset({CacheState.EM, CacheState.EC})
+
+
+class LockState(enum.IntEnum):
+    """Lock directory entry states (Section 3.1)."""
+
+    EMP = 0  #: Empty — the entry is free.
+    LCK = 1  #: Locked by this PE; nobody is waiting.
+    LWAIT = 2  #: Locked by this PE; one or more PEs are busy-waiting.
+
+
+class BusCommand(enum.IntEnum):
+    """Bus commands (Section 3.3).  ``H`` / ``LH`` are responses, counted
+    separately in :class:`~repro.core.stats.SystemStats`."""
+
+    F = 0  #: Fetch a block from another PE or shared memory.
+    FI = 1  #: Fetch and invalidate all other copies, including the supplier.
+    I = 2  #: Invalidate all other copies.
+    LK = 3  #: Broadcast that an address is being locked (rides with FI or I).
+    UL = 4  #: Broadcast that an LWAIT address has been unlocked.
+
+
+class BusPattern(enum.IntEnum):
+    """The six common-bus access patterns of Section 4.2.
+
+    With the paper's base parameters (one-word bus, four-word block,
+    eight-cycle memory) the costs are 13 / 13 / 10 / 7 / 5 / 2 cycles; see
+    :meth:`repro.core.config.BusConfig.pattern_cycles` for the general
+    derivation.
+    """
+
+    SWAP_IN_WITH_SWAP_OUT = 0
+    SWAP_IN = 1
+    C2C_WITH_SWAP_OUT = 2
+    C2C = 3
+    SWAP_OUT_ONLY = 4  #: Appears only in DW (dirty victim, no fetch).
+    INVALIDATION = 5
+    #: One word written through to shared memory (and broadcast, under
+    #: the update policy).  Not part of the paper's copy-back design —
+    #: it exists for the Section 3 write-policy ablations.
+    WRITE_THROUGH = 6
+
+
+#: Patterns that move a whole block over the bus.
+TRANSFER_PATTERNS = frozenset(
+    {
+        BusPattern.SWAP_IN_WITH_SWAP_OUT,
+        BusPattern.SWAP_IN,
+        BusPattern.C2C_WITH_SWAP_OUT,
+        BusPattern.C2C,
+    }
+)

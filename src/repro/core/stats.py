@@ -1,0 +1,277 @@
+"""Measurement counters for a cache simulation run.
+
+Every figure of merit in the paper's evaluation (Tables 2-5, Figures 1-3)
+is derived from the counters collected here: the reference matrix (area x
+operation), the hit matrix, bus-pattern counts and cycles, per-area bus
+cycles, and the lock-protocol counters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.states import BusCommand, BusPattern
+from repro.trace.events import AREA_NAMES, OP_NAMES, Area, Op
+
+N_AREAS = len(Area)
+N_OPS = len(Op)
+N_PATTERNS = len(BusPattern)
+N_COMMANDS = len(BusCommand)
+
+
+def _matrix() -> List[List[int]]:
+    return [[0] * N_OPS for _ in range(N_AREAS)]
+
+
+class SystemStats:
+    """Counters for one multi-PE cache simulation."""
+
+    __slots__ = (
+        "n_pes",
+        "refs",
+        "hits",
+        "pattern_counts",
+        "pattern_cycles",
+        "bus_cycles_by_area",
+        "command_counts",
+        "dw_allocations",
+        "dw_demotions",
+        "er_demotions",
+        "purges_clean",
+        "purges_dirty",
+        "supplier_invalidations",
+        "ri_exclusive_fetches",
+        "lr_no_bus",
+        "lr_bus",
+        "lh_responses",
+        "unlocks_no_waiter",
+        "unlocks_with_waiter",
+        "spurious_unlocks",
+        "lock_dir_max_occupancy",
+        "lock_dir_overflows",
+        "swap_ins",
+        "swap_outs",
+        "c2c_transfers",
+        "memory_busy_cycles",
+        "pe_cycles",
+    )
+
+    def __init__(self, n_pes: int):
+        self.n_pes = n_pes
+        #: refs[area][op] — memory references issued (after any demotion
+        #: the *original* op is counted, so Table 3 sees what software issued).
+        self.refs = _matrix()
+        #: hits[area][op] — references served from the local cache.
+        self.hits = _matrix()
+        self.pattern_counts = [0] * N_PATTERNS
+        self.pattern_cycles = [0] * N_PATTERNS
+        self.bus_cycles_by_area = [0] * N_AREAS
+        self.command_counts = [0] * N_COMMANDS
+        # Direct-write bookkeeping.
+        self.dw_allocations = 0  #: blocks allocated without a fetch
+        self.dw_demotions = 0  #: DW treated as plain W (hit / unaligned / remote copy)
+        self.er_demotions = 0  #: ER that fell through to plain R
+        # Exclusive-read / read-purge bookkeeping.
+        self.purges_clean = 0
+        self.purges_dirty = 0  #: each one is a swap-out avoided
+        self.supplier_invalidations = 0
+        # Read-invalidate bookkeeping.
+        self.ri_exclusive_fetches = 0
+        # Lock protocol (Table 5).
+        self.lr_no_bus = 0  #: LR hits to an exclusive block: zero bus cycles
+        self.lr_bus = 0  #: LR that needed FI/I + LK on the bus
+        self.lh_responses = 0  #: lock conflicts (LH drawn, busy-wait entered)
+        self.unlocks_no_waiter = 0  #: U/UW finding LCK — no UL broadcast
+        self.unlocks_with_waiter = 0  #: U/UW finding LWAIT — UL broadcast
+        self.spurious_unlocks = 0  #: U/UW with no matching directory entry
+        self.lock_dir_max_occupancy = 0
+        self.lock_dir_overflows = 0
+        # Traffic totals.
+        self.swap_ins = 0
+        self.swap_outs = 0
+        self.c2c_transfers = 0
+        #: Cycles the shared-memory modules spend servicing requests —
+        #: the figure the SM state is designed to reduce (Section 3.1).
+        self.memory_busy_cycles = 0
+        #: Per-PE elapsed cycles under the bus-serialization timing model.
+        self.pe_cycles = [0] * n_pes
+
+    # ------------------------------------------------------------------
+    # Derived measures
+    # ------------------------------------------------------------------
+
+    @property
+    def total_refs(self) -> int:
+        """All memory references issued."""
+        return sum(sum(row) for row in self.refs)
+
+    @property
+    def total_hits(self) -> int:
+        return sum(sum(row) for row in self.hits)
+
+    @property
+    def bus_cycles_total(self) -> int:
+        """Total common-bus cycles — the paper's primary figure of merit."""
+        return sum(self.pattern_cycles)
+
+    @property
+    def miss_ratio(self) -> float:
+        """Overall miss ratio (instruction + data)."""
+        total = self.total_refs
+        return (total - self.total_hits) / total if total else 0.0
+
+    @property
+    def total_cycles(self) -> float:
+        """Simulated elapsed time: the slowest PE's clock."""
+        return max(self.pe_cycles) if self.pe_cycles else 0
+
+    def refs_by_area(self, area: Area) -> int:
+        return sum(self.refs[area])
+
+    def refs_by_op(self, op: Op) -> int:
+        return sum(row[op] for row in self.refs)
+
+    def hits_by_area(self, area: Area) -> int:
+        return sum(self.hits[area])
+
+    def data_refs(self) -> int:
+        """References to the four data areas (everything but instructions)."""
+        return self.total_refs - self.refs_by_area(Area.INSTRUCTION)
+
+    def miss_ratio_area(self, area: Area) -> float:
+        refs = self.refs_by_area(area)
+        return (refs - self.hits_by_area(area)) / refs if refs else 0.0
+
+    def area_ref_percentages(self) -> List[float]:
+        """Percent of all references going to each area (Table 2, top)."""
+        total = self.total_refs
+        if not total:
+            return [0.0] * N_AREAS
+        return [100.0 * self.refs_by_area(a) / total for a in Area]
+
+    def area_bus_percentages(self) -> List[float]:
+        """Percent of all bus cycles attributed to each area (Table 2, bottom)."""
+        total = self.bus_cycles_total
+        if not total:
+            return [0.0] * N_AREAS
+        return [100.0 * self.bus_cycles_by_area[a] / total for a in Area]
+
+    def op_ref_percentages(self, data_only: bool = False) -> Dict[str, float]:
+        """Percent of references by operation class (Table 3 rows).
+
+        Returns percentages for ``R`` (plain reads including the
+        optimized read commands), ``LR``, ``W`` (plain writes including
+        DW), and ``UW+U``.
+        """
+        if data_only:
+            areas = [a for a in Area if a != Area.INSTRUCTION]
+        else:
+            areas = list(Area)
+        count = {op: sum(self.refs[a][op] for a in areas) for op in Op}
+        total = sum(count.values())
+        if not total:
+            return {"R": 0.0, "LR": 0.0, "W": 0.0, "UW+U": 0.0}
+        reads = count[Op.R] + count[Op.ER] + count[Op.RP] + count[Op.RI]
+        writes = count[Op.W] + count[Op.DW]
+        return {
+            "R": 100.0 * reads / total,
+            "LR": 100.0 * count[Op.LR] / total,
+            "W": 100.0 * writes / total,
+            "UW+U": 100.0 * (count[Op.UW] + count[Op.U]) / total,
+        }
+
+    def heap_op_percentages(self) -> Dict[str, float]:
+        """Table 3's E(heap) row: operation mix within the heap area."""
+        count = {op: self.refs[Area.HEAP][op] for op in Op}
+        total = sum(count.values())
+        if not total:
+            return {"R": 0.0, "LR": 0.0, "W": 0.0, "UW+U": 0.0}
+        reads = count[Op.R] + count[Op.ER] + count[Op.RP] + count[Op.RI]
+        writes = count[Op.W] + count[Op.DW]
+        return {
+            "R": 100.0 * reads / total,
+            "LR": 100.0 * count[Op.LR] / total,
+            "W": 100.0 * writes / total,
+            "UW+U": 100.0 * (count[Op.UW] + count[Op.U]) / total,
+        }
+
+    # Table 5 ratios -----------------------------------------------------
+
+    @property
+    def lr_hit_ratio(self) -> float:
+        """Fraction of LR operations that hit in the cache."""
+        total = self.refs_by_op(Op.LR)
+        hits = sum(self.hits[a][Op.LR] for a in Area)
+        return hits / total if total else 0.0
+
+    @property
+    def lr_hit_to_exclusive_ratio(self) -> float:
+        """Fraction of LR operations served with zero bus cycles."""
+        total = self.refs_by_op(Op.LR)
+        return self.lr_no_bus / total if total else 0.0
+
+    @property
+    def unlock_no_waiter_ratio(self) -> float:
+        """Fraction of U/UW finding no waiter (no UL broadcast needed)."""
+        total = self.unlocks_no_waiter + self.unlocks_with_waiter
+        return self.unlocks_no_waiter / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Presentation helpers
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten every counter into plain Python types (for reports)."""
+        return {
+            "n_pes": self.n_pes,
+            "total_refs": self.total_refs,
+            "miss_ratio": self.miss_ratio,
+            "bus_cycles_total": self.bus_cycles_total,
+            "refs": {
+                AREA_NAMES[a]: {OP_NAMES[o]: self.refs[a][o] for o in Op}
+                for a in Area
+            },
+            "hits": {
+                AREA_NAMES[a]: {OP_NAMES[o]: self.hits[a][o] for o in Op}
+                for a in Area
+            },
+            "pattern_counts": {
+                p.name.lower(): self.pattern_counts[p] for p in BusPattern
+            },
+            "pattern_cycles": {
+                p.name.lower(): self.pattern_cycles[p] for p in BusPattern
+            },
+            "bus_cycles_by_area": {
+                AREA_NAMES[a]: self.bus_cycles_by_area[a] for a in Area
+            },
+            "command_counts": {
+                c.name: self.command_counts[c] for c in BusCommand
+            },
+            "dw_allocations": self.dw_allocations,
+            "dw_demotions": self.dw_demotions,
+            "er_demotions": self.er_demotions,
+            "purges_clean": self.purges_clean,
+            "purges_dirty": self.purges_dirty,
+            "supplier_invalidations": self.supplier_invalidations,
+            "ri_exclusive_fetches": self.ri_exclusive_fetches,
+            "lr_no_bus": self.lr_no_bus,
+            "lr_bus": self.lr_bus,
+            "lh_responses": self.lh_responses,
+            "unlocks_no_waiter": self.unlocks_no_waiter,
+            "unlocks_with_waiter": self.unlocks_with_waiter,
+            "spurious_unlocks": self.spurious_unlocks,
+            "lock_dir_max_occupancy": self.lock_dir_max_occupancy,
+            "lock_dir_overflows": self.lock_dir_overflows,
+            "swap_ins": self.swap_ins,
+            "swap_outs": self.swap_outs,
+            "c2c_transfers": self.c2c_transfers,
+            "memory_busy_cycles": self.memory_busy_cycles,
+            "pe_cycles": list(self.pe_cycles),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SystemStats(n_pes={self.n_pes}, refs={self.total_refs}, "
+            f"miss_ratio={self.miss_ratio:.4f}, "
+            f"bus_cycles={self.bus_cycles_total})"
+        )

@@ -1,0 +1,759 @@
+"""The multi-PE PIM cache system: protocol engine, bus, and lock handling.
+
+:class:`PIMCacheSystem` owns one cache and one lock directory per PE, the
+shared memory image, and the common bus.  Its single entry point,
+:meth:`PIMCacheSystem.access`, applies one memory operation and returns
+the cycles consumed — or :data:`BLOCKED` when the reference hit a lock
+held by another PE and the issuing PE must busy-wait (retry later).
+
+Protocol summary (Section 3, DESIGN.md has the full rationale):
+
+* plain read miss → ``F``; served cache-to-cache when possible, with *no*
+  copyback of dirty data (the supplier keeps ownership in ``SM``) under
+  the PIM protocol, or with an Illinois-style copyback when
+  ``protocol="illinois"``.
+* write hit in S/SM → ``I`` broadcast (the cache cannot know whether
+  sharers actually exist — that is exactly what EM/EC save); write miss
+  → ``FI``.
+* ``DW`` on a block-boundary miss allocates without any bus transaction
+  at all (or a 5-cycle swap-out-only when the victim is dirty).  The "no
+  remote copy" precondition is a software contract; the simulator
+  *verifies* it against its presence map and demotes violating DWs to
+  plain writes rather than corrupting coherence.
+* ``ER``/``RP`` invalidate the supplier on miss service and purge the
+  local copy once consumed; purged dirty blocks are dropped — their data
+  is dead by the write-once/read-once contract.
+* ``RI`` fetches with ``FI`` so the rewrite that follows needs no ``I``.
+* ``LR`` hitting an exclusive block locks in zero bus cycles; otherwise
+  it rides ``FI``/``I`` with an ``LK`` broadcast.  A bus request touching
+  a remotely locked word draws ``LH``, flips the holder's entry to
+  ``LWAIT``, and busy-waits for ``UL``; ``U``/``UW`` broadcast ``UL``
+  only from ``LWAIT``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.cache import Cache
+from repro.core.config import SimulationConfig
+from repro.core.lock_directory import LockDirectory
+from repro.core.states import (
+    DIRTY_STATES,
+    BusCommand,
+    BusPattern,
+    CacheState,
+    LockState,
+)
+from repro.core.stats import SystemStats
+from repro.trace.events import FLAG_LOCK_CONTENDED, Op
+
+#: Sentinel returned by :meth:`PIMCacheSystem.access` when the reference
+#: is inhibited by a remote lock and the PE must busy-wait and retry.
+BLOCKED = -1
+
+#: Result tuple: (cycles or BLOCKED, annotation flags, read value or None).
+AccessResult = Tuple[int, int, Optional[int]]
+
+_EXCLUSIVE = (CacheState.EM, CacheState.EC)
+
+
+class PIMCacheSystem:
+    """Snooping five-state cache system for ``n_pes`` processing elements."""
+
+    def __init__(self, config: SimulationConfig, n_pes: int):
+        if n_pes < 1:
+            raise ValueError(f"n_pes must be >= 1, got {n_pes}")
+        self.config = config
+        self.n_pes = n_pes
+        self.track_data = config.track_data
+        self.caches = [
+            Cache(config.cache, pe, config.track_data) for pe in range(n_pes)
+        ]
+        self.lock_directories = [
+            LockDirectory(pe, config.lock_entries) for pe in range(n_pes)
+        ]
+        self.stats = SystemStats(n_pes)
+        #: Shared memory image (word address -> value); populated lazily.
+        self.memory: Dict[int, int] = {}
+        # --- simulator accelerators (not architectural state) ---
+        #: block number -> set of PEs with a valid copy.
+        self._holders: Dict[int, set] = {}
+        #: block number -> list of (owner PE, locked word address).
+        self._locked_words: Dict[int, List[Tuple[int, int]]] = {}
+        #: PE -> block it is currently busy-waiting on (for LH dedup).
+        self._waiting: Dict[int, int] = {}
+        self._block_words = config.cache.block_words
+        self._block_mask = self._block_words - 1
+        self._block_shift = self._block_words.bit_length() - 1
+        self._illinois = config.protocol == "illinois"
+        #: Write policy: copy-back (the paper's design) or one of the
+        #: Section 3 ablation baselines.
+        self._write_through = config.protocol in ("write_through", "write_update")
+        self._write_update = config.protocol == "write_update"
+        self._mem_cycles = config.bus.memory_access_cycles
+        self._pattern_cost = [
+            config.bus.pattern_cycles(p, self._block_words) for p in BusPattern
+        ]
+        #: Global bus timeline: the cycle at which the bus next frees up.
+        self.bus_free_at = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def access(
+        self, pe: int, op: int, area: int, address: int, value: int = 0, flags: int = 0
+    ) -> AccessResult:
+        """Apply one memory operation.
+
+        ``flags`` carries trace annotations for replay mode (a contended
+        LR / an unlock that had a waiter); in execution-driven mode pass
+        0 and contention is detected live.  Returns ``(cycles, out_flags,
+        read_value)``; ``cycles`` is :data:`BLOCKED` when the PE must
+        busy-wait and retry the same reference.
+        """
+        block = address >> self._block_shift
+        if op == Op.R:
+            result = self._read(pe, op, area, address, block)
+        elif op == Op.W:
+            result = self._write(pe, op, area, address, block, value)
+        elif op == Op.DW:
+            if self.config.opts.honours(op, area):
+                result = self._direct_write(pe, op, area, address, block, value)
+            else:
+                result = self._write(pe, op, area, address, block, value)
+        elif op == Op.ER:
+            if self.config.opts.honours(op, area):
+                result = self._exclusive_read(pe, op, area, address, block)
+            else:
+                result = self._read(pe, op, area, address, block)
+        elif op == Op.RP:
+            if self.config.opts.honours(op, area):
+                result = self._read_purge(pe, op, area, address, block)
+            else:
+                result = self._read(pe, op, area, address, block)
+        elif op == Op.RI:
+            if self.config.opts.honours(op, area):
+                result = self._read_invalidate(pe, op, area, address, block)
+            else:
+                result = self._read(pe, op, area, address, block)
+        elif op == Op.LR:
+            result = self._lock_read(pe, op, area, address, block, flags)
+        elif op == Op.UW:
+            result = self._unlock(pe, op, area, address, block, True, value, flags)
+        elif op == Op.U:
+            result = self._unlock(pe, op, area, address, block, False, value, flags)
+        else:
+            raise ValueError(f"unknown memory operation {op!r}")
+
+        if result[0] != BLOCKED:
+            self.stats.refs[area][op] += 1
+            self._waiting.pop(pe, None)
+        return result
+
+    def is_waiting(self, pe: int) -> bool:
+        """Whether *pe* is currently busy-waiting on a lock."""
+        return pe in self._waiting
+
+    def line_state(self, pe: int, address: int) -> CacheState:
+        """Protocol state of the block holding *address* in PE's cache."""
+        line = self.caches[pe].peek(address >> self._block_shift)
+        return line.state if line is not None else CacheState.INV
+
+    def flush_all(self, silent: bool = False) -> int:
+        """Invalidate every cache, writing dirty blocks back to memory.
+
+        Used around stop-and-copy garbage collection, which the paper
+        excludes from measurement; no bus cycles are charged.  With
+        ``silent=True`` the write-backs are skipped entirely (the heap
+        has been relocated, so the dirty data is dead) and nothing is
+        charged to the memory modules either.  Returns the number of
+        dirty blocks written back.
+        """
+        written = 0
+        for cache in self.caches:
+            if not silent:
+                for block, line in cache.lines():
+                    if line.state in DIRTY_STATES:
+                        written += 1
+                        self._writeback(block, line)
+            cache.flush()
+        self._holders.clear()
+        return written
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if any coherence invariant is violated.
+
+        Invariants: an EM/EC copy is the only copy; at most one dirty
+        (EM/SM) copy per block; the presence map matches the caches; and
+        with data tracking, all valid copies agree, and agree with memory
+        when no dirty copy exists.
+        """
+        by_block: Dict[int, List[Tuple[int, CacheState, object]]] = {}
+        for pe, cache in enumerate(self.caches):
+            for block, line in cache.lines():
+                by_block.setdefault(block, []).append((pe, line.state, line.data))
+        for block, copies in by_block.items():
+            holders = self._holders.get(block, set())
+            pes = {pe for pe, _, _ in copies}
+            assert pes == holders, (
+                f"block {block:#x}: presence map {holders} != caches {pes}"
+            )
+            exclusive = [pe for pe, state, _ in copies if state in _EXCLUSIVE]
+            if exclusive:
+                assert len(copies) == 1, (
+                    f"block {block:#x}: exclusive copy in PE{exclusive[0]} "
+                    f"coexists with {len(copies) - 1} other copies"
+                )
+            dirty = [pe for pe, state, _ in copies if state in DIRTY_STATES]
+            assert len(dirty) <= 1, (
+                f"block {block:#x}: multiple dirty copies in PEs {dirty}"
+            )
+            if self.track_data:
+                first = copies[0][2]
+                for pe, _, data in copies[1:]:
+                    assert data == first, (
+                        f"block {block:#x}: PE{pe} data {data} != {first}"
+                    )
+                if not dirty:
+                    base = block << self._block_shift
+                    mem = [self.memory.get(base + i, 0) for i in range(self._block_words)]
+                    assert first == mem, (
+                        f"block {block:#x}: clean copies {first} != memory {mem}"
+                    )
+        for block, holders in self._holders.items():
+            assert holders, f"block {block:#x}: empty holder set left behind"
+            assert block in by_block, (
+                f"block {block:#x}: presence map lists {holders}, caches have none"
+            )
+
+    # ------------------------------------------------------------------
+    # Bus and bookkeeping helpers
+    # ------------------------------------------------------------------
+
+    def _bus(self, pe: int, pattern: BusPattern, area: int) -> int:
+        """Charge one bus access pattern and advance the PE/bus clocks."""
+        cycles = self._pattern_cost[pattern]
+        stats = self.stats
+        stats.pattern_counts[pattern] += 1
+        stats.pattern_cycles[pattern] += cycles
+        stats.bus_cycles_by_area[area] += cycles
+        start = stats.pe_cycles[pe] + 1
+        if start < self.bus_free_at:
+            start = self.bus_free_at
+        end = start + cycles
+        self.bus_free_at = end
+        stats.pe_cycles[pe] = end
+        return cycles
+
+    def _no_bus(self, pe: int) -> int:
+        """Advance the PE clock for a bus-free access (cache hit)."""
+        self.stats.pe_cycles[pe] += 1
+        return 1
+
+    def _writeback(self, block: int, line) -> None:
+        if self.track_data and line.data is not None:
+            base = block << self._block_shift
+            for offset, word in enumerate(line.data):
+                self.memory[base + offset] = word
+        self.stats.memory_busy_cycles += self._mem_cycles
+
+    def _memory_read(self, block: int) -> Optional[List[int]]:
+        self.stats.swap_ins += 1
+        self.stats.memory_busy_cycles += self._mem_cycles
+        if not self.track_data:
+            return None
+        base = block << self._block_shift
+        return [self.memory.get(base + i, 0) for i in range(self._block_words)]
+
+    def _drop_holder(self, block: int, pe: int) -> None:
+        holders = self._holders.get(block)
+        if holders is not None:
+            holders.discard(pe)
+            if not holders:
+                del self._holders[block]
+
+    def _fill(self, pe: int, block: int, state: CacheState, area: int, data) -> bool:
+        """Insert a block, evicting as needed.  Returns True if the victim
+        was dirty (a swap-out rides on this bus transaction)."""
+        victim = self.caches[pe].insert(block, state, area, data)
+        self._holders.setdefault(block, set()).add(pe)
+        if victim is None:
+            return False
+        victim_block, victim_line = victim
+        self._drop_holder(victim_block, pe)
+        if victim_line.state in DIRTY_STATES:
+            self.stats.swap_outs += 1
+            self._writeback(victim_block, victim_line)
+            return True
+        return False
+
+    def _remote_holders(self, pe: int, block: int) -> List[int]:
+        holders = self._holders.get(block)
+        if not holders:
+            return []
+        return [other for other in holders if other != pe]
+
+    def _pick_supplier(self, block: int, remotes: List[int]):
+        """Choose the supplying cache for a cache-to-cache transfer,
+        preferring the owner (a dirty copy) when one exists."""
+        chosen_pe = remotes[0]
+        chosen_line = self.caches[chosen_pe].peek(block)
+        for other in remotes:
+            line = self.caches[other].peek(block)
+            if line.state in DIRTY_STATES:
+                return other, line
+        return chosen_pe, chosen_line
+
+    def _invalidate_remotes(self, pe: int, block: int) -> None:
+        for other in self._remote_holders(pe, block):
+            self.caches[other].remove(block)
+            self._drop_holder(block, other)
+
+    def _check_locks(self, pe: int, area: int, block: int) -> bool:
+        """True when a bus request by *pe* to *block* is inhibited by a
+        remote lock (LH response).  Flips the holders' entries to LWAIT
+        and charges the aborted bus command once per waiting episode."""
+        locked = self._locked_words.get(block)
+        if not locked:
+            return False
+        inhibited = False
+        for owner, address in locked:
+            if owner != pe:
+                inhibited = True
+                self.lock_directories[owner].mark_waiting(address)
+        if not inhibited:
+            return False
+        if self._waiting.get(pe) != block:
+            self._waiting[pe] = block
+            self.stats.lh_responses += 1
+            # The aborted request occupied the bus for its address cycle
+            # and the LH response; busy-wait itself uses no bus cycles.
+            self._bus(pe, BusPattern.INVALIDATION, area)
+        else:
+            self.stats.pe_cycles[pe] += 1  # one spin cycle
+        return True
+
+    # ------------------------------------------------------------------
+    # Operation handlers.  ``sop`` is the operation as issued by software
+    # (before any demotion) so the statistics reflect Table 3's view.
+    # ------------------------------------------------------------------
+
+    def _read(self, pe: int, sop: int, area: int, address: int, block: int) -> AccessResult:
+        line = self.caches[pe].lookup(block)
+        if line is not None:
+            self.stats.hits[area][sop] += 1
+            self._no_bus(pe)
+            value = line.data[address & self._block_mask] if self.track_data else None
+            return (1, 0, value)
+        if self._check_locks(pe, area, block):
+            return (BLOCKED, 0, None)
+        self.stats.command_counts[BusCommand.F] += 1
+        remotes = self._remote_holders(pe, block)
+        if remotes:
+            supplier_pe, supplier = self._pick_supplier(block, remotes)
+            data = list(supplier.data) if self.track_data else None
+            if supplier.state in DIRTY_STATES and self._illinois:
+                # Illinois: dirty data is copied back to memory during the
+                # transfer; everybody ends up clean.
+                self.stats.swap_outs += 1
+                self._writeback(block, supplier)
+                supplier.state = CacheState.S
+            elif supplier.state == CacheState.EM:
+                supplier.state = CacheState.SM
+            elif supplier.state == CacheState.EC:
+                supplier.state = CacheState.S
+            self.stats.c2c_transfers += 1
+            victim_dirty = self._fill(pe, block, CacheState.S, area, data)
+            pattern = (
+                BusPattern.C2C_WITH_SWAP_OUT if victim_dirty else BusPattern.C2C
+            )
+        else:
+            data = self._memory_read(block)
+            victim_dirty = self._fill(pe, block, CacheState.EC, area, data)
+            pattern = (
+                BusPattern.SWAP_IN_WITH_SWAP_OUT
+                if victim_dirty
+                else BusPattern.SWAP_IN
+            )
+        cycles = self._bus(pe, pattern, area)
+        value = None
+        if self.track_data:
+            line = self.caches[pe].peek(block)
+            value = line.data[address & self._block_mask]
+        return (cycles, 0, value)
+
+    def _write(
+        self, pe: int, sop: int, area: int, address: int, block: int, value: int
+    ) -> AccessResult:
+        if self._write_through:
+            return self._write_through_store(pe, sop, area, address, block, value)
+        line = self.caches[pe].lookup(block)
+        if line is not None:
+            state = line.state
+            if state == CacheState.EM or state == CacheState.EC:
+                line.state = CacheState.EM
+                self.stats.hits[area][sop] += 1
+                if self.track_data:
+                    line.data[address & self._block_mask] = value
+                self._no_bus(pe)
+                return (1, 0, None)
+            # S or SM: the block is *perhaps* shared — an I broadcast is
+            # mandatory even if no copy actually exists elsewhere.
+            if self._check_locks(pe, area, block):
+                return (BLOCKED, 0, None)
+            self.stats.hits[area][sop] += 1
+            self._invalidate_remotes(pe, block)
+            line.state = CacheState.EM
+            if self.track_data:
+                line.data[address & self._block_mask] = value
+            self.stats.command_counts[BusCommand.I] += 1
+            cycles = self._bus(pe, BusPattern.INVALIDATION, area)
+            return (cycles, 0, None)
+        # Write miss: fetch-on-write via FI.
+        if self._check_locks(pe, area, block):
+            return (BLOCKED, 0, None)
+        cycles = self._fetch_exclusive(pe, area, block, CacheState.EM)
+        if self.track_data:
+            self.caches[pe].peek(block).data[address & self._block_mask] = value
+        return (cycles, 0, None)
+
+    def _write_through_store(
+        self, pe: int, sop: int, area: int, address: int, block: int, value: int
+    ) -> AccessResult:
+        """Section 3 ablation baselines: every write goes to shared
+        memory over the bus (no write-allocate).  Under the *invalidate*
+        variant remote copies are killed; under the *update* variant they
+        are patched in place (a broadcast write), so blocks are never
+        dirty and sharers persist."""
+        if self._check_locks(pe, area, block):
+            return (BLOCKED, 0, None)
+        line = self.caches[pe].lookup(block)
+        if line is not None:
+            self.stats.hits[area][sop] += 1
+            if self.track_data:
+                line.data[address & self._block_mask] = value
+        if self._write_update:
+            for other in self._remote_holders(pe, block):
+                if self.track_data:
+                    remote = self.caches[other].peek(block)
+                    remote.data[address & self._block_mask] = value
+        else:
+            self._invalidate_remotes(pe, block)
+            if line is not None:
+                # Now the sole copy.  A clean block stays clean (the
+                # write went through); a dirty block (possible when DW is
+                # honoured alongside this ablation policy) must keep its
+                # copy-back duty for its *other* words.
+                if line.state == CacheState.S:
+                    line.state = CacheState.EC
+                elif line.state == CacheState.SM:
+                    line.state = CacheState.EM
+        if self.track_data:
+            self.memory[address] = value
+        self.stats.memory_busy_cycles += self._mem_cycles
+        cycles = self._bus(pe, BusPattern.WRITE_THROUGH, area)
+        return (cycles, 0, None)
+
+    def _fetch_exclusive(
+        self, pe: int, area: int, block: int, final_state: Optional[CacheState]
+    ) -> int:
+        """Issue FI: fetch *block* and invalidate every other copy.
+
+        ``final_state`` of None means "EM if the data was dirty somewhere,
+        else EC" (used by LR / RI, whose write may be silent later).
+        Returns the bus cycles charged.
+        """
+        self.stats.command_counts[BusCommand.FI] += 1
+        remotes = self._remote_holders(pe, block)
+        if remotes:
+            supplier_pe, supplier = self._pick_supplier(block, remotes)
+            data = list(supplier.data) if self.track_data else None
+            dirty = supplier.state in DIRTY_STATES
+            if dirty and self._illinois:
+                self.stats.swap_outs += 1
+                self._writeback(block, supplier)
+                dirty = False
+            self._invalidate_remotes(pe, block)
+            self.stats.c2c_transfers += 1
+            if final_state is None:
+                final_state = CacheState.EM if dirty else CacheState.EC
+            elif final_state == CacheState.EC and dirty:
+                final_state = CacheState.EM
+            victim_dirty = self._fill(pe, block, final_state, area, data)
+            pattern = (
+                BusPattern.C2C_WITH_SWAP_OUT if victim_dirty else BusPattern.C2C
+            )
+        else:
+            data = self._memory_read(block)
+            if final_state is None:
+                final_state = CacheState.EC
+            victim_dirty = self._fill(pe, block, final_state, area, data)
+            pattern = (
+                BusPattern.SWAP_IN_WITH_SWAP_OUT
+                if victim_dirty
+                else BusPattern.SWAP_IN
+            )
+        return self._bus(pe, pattern, area)
+
+    def _direct_write(
+        self, pe: int, sop: int, area: int, address: int, block: int, value: int
+    ) -> AccessResult:
+        if address & self._block_mask:
+            # Not a block boundary: the controller replaces DW with W.
+            self.stats.dw_demotions += 1
+            return self._write(pe, sop, area, address, block, value)
+        if self.caches[pe].peek(block) is not None:
+            # Already resident — an ordinary write hit.
+            self.stats.dw_demotions += 1
+            return self._write(pe, sop, area, address, block, value)
+        if self._remote_holders(pe, block):
+            # The software contract ("no remote copy") is violated;
+            # demote rather than break coherence.
+            self.stats.dw_demotions += 1
+            return self._write(pe, sop, area, address, block, value)
+        # Allocate without fetching: zero bus cycles unless a dirty
+        # victim must be swapped out (the 5-cycle swap-out-only pattern).
+        # The words not yet written are architecturally undefined (the
+        # software contract says they will be written before being read);
+        # the model gives them the shared-memory contents so that even a
+        # contract-violating read stays deterministic.
+        self.stats.dw_allocations += 1
+        data = None
+        if self.track_data:
+            base = block << self._block_shift
+            data = [self.memory.get(base + i, 0) for i in range(self._block_words)]
+        victim_dirty = self._fill(pe, block, CacheState.EM, area, data)
+        if self.track_data:
+            self.caches[pe].peek(block).data[address & self._block_mask] = value
+        if victim_dirty:
+            cycles = self._bus(pe, BusPattern.SWAP_OUT_ONLY, area)
+            return (cycles, 0, None)
+        return (self._no_bus(pe), 0, None)
+
+    def _purge(self, pe: int, area: int, block: int, line) -> None:
+        """Forcibly drop a local block; a dirty purge is a swap-out avoided."""
+        self.caches[pe].remove(block)
+        self._drop_holder(block, pe)
+        if line.state in DIRTY_STATES:
+            self.stats.purges_dirty += 1
+        else:
+            self.stats.purges_clean += 1
+
+    def _exclusive_read(
+        self, pe: int, sop: int, area: int, address: int, block: int
+    ) -> AccessResult:
+        last_word = (address & self._block_mask) == self._block_mask
+        line = self.caches[pe].lookup(block)
+        if line is not None:
+            # Case (ii): hit on the last word — read, then purge (RP).
+            self.stats.hits[area][sop] += 1
+            value = line.data[address & self._block_mask] if self.track_data else None
+            if last_word:
+                self._purge(pe, area, block, line)
+            self._no_bus(pe)
+            return (1, 0, value)
+        remotes = self._remote_holders(pe, block)
+        if remotes and not last_word:
+            # Case (i): read invalidate — cache-to-cache transfer after
+            # which the supplier's copy is invalidated.
+            if self._check_locks(pe, area, block):
+                return (BLOCKED, 0, None)
+            self.stats.supplier_invalidations += 1
+            cycles = self._fetch_exclusive(pe, area, block, None)
+            value = None
+            if self.track_data:
+                value = self.caches[pe].peek(block).data[address & self._block_mask]
+            return (cycles, 0, value)
+        # Case (iii): the controller replaces ER with plain R.
+        self.stats.er_demotions += 1
+        return self._read(pe, sop, area, address, block)
+
+    def _read_purge(
+        self, pe: int, sop: int, area: int, address: int, block: int
+    ) -> AccessResult:
+        line = self.caches[pe].lookup(block)
+        if line is not None:
+            # Case (i): read, then forcibly purge.
+            self.stats.hits[area][sop] += 1
+            value = line.data[address & self._block_mask] if self.track_data else None
+            self._purge(pe, area, block, line)
+            self._no_bus(pe)
+            return (1, 0, value)
+        if self._check_locks(pe, area, block):
+            return (BLOCKED, 0, None)
+        remotes = self._remote_holders(pe, block)
+        if remotes:
+            # Case (ii): supplier invalidated after the transfer; the
+            # fetched block is consumed without being allocated.
+            self.stats.command_counts[BusCommand.FI] += 1
+            supplier_pe, supplier = self._pick_supplier(block, remotes)
+            data = list(supplier.data) if self.track_data else None
+            if supplier.state in DIRTY_STATES:
+                if self._illinois:
+                    self.stats.swap_outs += 1
+                    self._writeback(block, supplier)
+                self.stats.purges_dirty += 1
+            else:
+                self.stats.purges_clean += 1
+            self._invalidate_remotes(pe, block)
+            self.stats.supplier_invalidations += 1
+            self.stats.c2c_transfers += 1
+            cycles = self._bus(pe, BusPattern.C2C, area)
+            value = data[address & self._block_mask] if self.track_data else None
+            return (cycles, 0, value)
+        # Miss with no remote copy: read through shared memory, nothing
+        # to purge or allocate.
+        self.stats.command_counts[BusCommand.F] += 1
+        data = self._memory_read(block)
+        cycles = self._bus(pe, BusPattern.SWAP_IN, area)
+        value = data[address & self._block_mask] if self.track_data else None
+        return (cycles, 0, value)
+
+    def _read_invalidate(
+        self, pe: int, sop: int, area: int, address: int, block: int
+    ) -> AccessResult:
+        line = self.caches[pe].lookup(block)
+        if line is not None:
+            # RI targets data just written by another PE; on a hit it
+            # behaves as a plain read.
+            self.stats.hits[area][sop] += 1
+            self._no_bus(pe)
+            value = line.data[address & self._block_mask] if self.track_data else None
+            return (1, 0, value)
+        if self._check_locks(pe, area, block):
+            return (BLOCKED, 0, None)
+        self.stats.ri_exclusive_fetches += 1
+        cycles = self._fetch_exclusive(pe, area, block, None)
+        value = None
+        if self.track_data:
+            value = self.caches[pe].peek(block).data[address & self._block_mask]
+        return (cycles, 0, value)
+
+    # ------------------------------------------------------------------
+    # Lock operations
+    # ------------------------------------------------------------------
+
+    def _register_lock(self, pe: int, address: int, block: int) -> None:
+        self.lock_directories[pe].lock(address)
+        self._locked_words.setdefault(block, []).append((pe, address))
+        directory = self.lock_directories[pe]
+        if directory.max_occupancy > self.stats.lock_dir_max_occupancy:
+            self.stats.lock_dir_max_occupancy = directory.max_occupancy
+        self.stats.lock_dir_overflows = sum(
+            d.overflows for d in self.lock_directories
+        )
+
+    def _release_lock(self, pe: int, address: int, block: int) -> None:
+        locked = self._locked_words.get(block)
+        if locked is not None:
+            try:
+                locked.remove((pe, address))
+            except ValueError:
+                pass
+            if not locked:
+                del self._locked_words[block]
+
+    def _lock_read(
+        self, pe: int, sop: int, area: int, address: int, block: int, flags: int
+    ) -> AccessResult:
+        if self._check_locks(pe, area, block):
+            return (BLOCKED, 0, None)
+        out_flags = 0
+        if flags & FLAG_LOCK_CONTENDED:
+            # Trace replay: re-enact the LH + busy-wait recorded at
+            # generation time (replay order serializes the conflict away).
+            self.stats.lh_responses += 1
+            self._bus(pe, BusPattern.INVALIDATION, area)
+            out_flags = FLAG_LOCK_CONTENDED
+        line = self.caches[pe].lookup(block)
+        value = None
+        if line is not None:
+            self.stats.hits[area][sop] += 1
+            if self.track_data:
+                value = line.data[address & self._block_mask]
+            if line.state in _EXCLUSIVE:
+                # The whole point of the hardware lock: zero bus cycles.
+                self._register_lock(pe, address, block)
+                self.stats.lr_no_bus += 1
+                self._no_bus(pe)
+                return (1, out_flags, value)
+            # Shared hit: I + LK to gain exclusivity before locking.
+            self._invalidate_remotes(pe, block)
+            line.state = (
+                CacheState.EM if line.state == CacheState.SM else CacheState.EC
+            )
+            self._register_lock(pe, address, block)
+            self.stats.lr_bus += 1
+            self.stats.command_counts[BusCommand.I] += 1
+            self.stats.command_counts[BusCommand.LK] += 1
+            cycles = self._bus(pe, BusPattern.INVALIDATION, area)
+            return (cycles, out_flags, value)
+        # Miss: FI + LK.
+        self.stats.lr_bus += 1
+        self.stats.command_counts[BusCommand.LK] += 1
+        cycles = self._fetch_exclusive(pe, area, block, None)
+        self._register_lock(pe, address, block)
+        if self.track_data:
+            value = self.caches[pe].peek(block).data[address & self._block_mask]
+        return (cycles, out_flags, value)
+
+    def _unlock(
+        self,
+        pe: int,
+        sop: int,
+        area: int,
+        address: int,
+        block: int,
+        write: bool,
+        value: int,
+        flags: int,
+    ) -> AccessResult:
+        directory = self.lock_directories[pe]
+        prior = directory.state(address)
+        if prior == LockState.EMP:
+            self.stats.spurious_unlocks += 1
+            if write:
+                return self._write(pe, sop, area, address, block, value)
+            self._no_bus(pe)
+            return (1, 0, None)
+        total = 0
+        if write:
+            # The LR acquired the block exclusively, so this is normally a
+            # silent write hit; a miss (local eviction since LR) refetches.
+            # Perform the write while still holding the lock, so a rare
+            # conflict with another lock in the same block can be retried
+            # without having dropped our own entry.
+            result = self._write(pe, sop, area, address, block, value)
+            if result[0] == BLOCKED:
+                return result
+            total = result[0]
+        else:
+            self.stats.hits[area][sop] += 1
+            total = self._no_bus(pe)
+        directory.unlock(address)
+        self._release_lock(pe, address, block)
+        had_waiter = prior == LockState.LWAIT or bool(flags & FLAG_LOCK_CONTENDED)
+        out_flags = 0
+        if had_waiter:
+            self.stats.unlocks_with_waiter += 1
+            self.stats.command_counts[BusCommand.UL] += 1
+            total += self._bus(pe, BusPattern.INVALIDATION, area)
+            out_flags = FLAG_LOCK_CONTENDED
+            # Busy-waiting PEs will retry; clear their episode markers so
+            # the retry performs a fresh (now unobstructed) lock check.
+            for waiter, waited_block in list(self._waiting.items()):
+                if waited_block == block:
+                    del self._waiting[waiter]
+        else:
+            self.stats.unlocks_no_waiter += 1
+        return (total, out_flags, None)
+
+    def __repr__(self) -> str:
+        return (
+            f"PIMCacheSystem(n_pes={self.n_pes}, "
+            f"protocol={self.config.protocol!r}, "
+            f"cache={self.config.cache.capacity_words} words, "
+            f"refs={self.stats.total_refs})"
+        )

@@ -1,0 +1,48 @@
+"""Exceptions raised by the KL1 machine."""
+
+from __future__ import annotations
+
+
+class MachineError(Exception):
+    """Base class for all KL1 machine errors."""
+
+
+class FGHCSyntaxError(MachineError):
+    """Malformed FGHC source text."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
+
+
+class CompileError(MachineError):
+    """A clause that parses but cannot be compiled (e.g. arity too large,
+    output unification attempted in a guard)."""
+
+
+class ProgramFailure(MachineError):
+    """Every clause of a procedure failed with no suspension possible —
+    the FGHC program itself has failed."""
+
+
+class UnificationFailure(MachineError):
+    """Active (body) unification of incompatible terms.  In FGHC this
+    aborts the program."""
+
+
+class DeadlockError(MachineError):
+    """No runnable goals remain but suspended goals exist: the program
+    is waiting on variables nobody will ever bind."""
+
+
+class HeapOverflowError(MachineError):
+    """A PE's heap segment is exhausted (the emulator does not run the
+    stop-and-copy collector during measurement; enlarge the scale
+    preset's segment instead)."""
+
+
+class LimitExceededError(MachineError):
+    """The run exceeded ``MachineConfig.max_reductions``."""

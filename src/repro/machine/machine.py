@@ -1,0 +1,437 @@
+"""The multi-PE KL1 machine facade.
+
+:class:`KL1Machine` wires together the compiled program, the backing
+stores, the per-PE engines, the scheduler, and the
+:class:`~repro.machine.port.MemoryPort` that feeds the cache system
+and/or a trace buffer.  :meth:`KL1Machine.run` executes a query to
+completion, interleaving the PEs one scheduler turn at a time (the
+paper's tools synchronize at each bus request; one reduction per turn is
+the emulation quantum here, with the cache system serializing bus
+timing).
+
+All the ``*_i`` methods are the *instrumented* accessors the engines
+use: they touch the backing store and issue the architecturally correct
+memory operation — ``DW`` for heap/goal-record creation, ``ER``/``RP``
+for dead-record reads, ``RI`` for message reads, ``LR``/``UW``/``U``
+around bindings — through the port.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.core.config import MachineConfig, SimulationConfig
+from repro.core.stats import SystemStats
+from repro.core.system import PIMCacheSystem
+from repro.machine import builtins as builtin_module
+from repro.machine.compiler import Program, compile_program
+from repro.machine.engine import Engine, STATUS_RUNNABLE
+from repro.machine.errors import (
+    DeadlockError,
+    LimitExceededError,
+    MachineError,
+    ProgramFailure,
+)
+from repro.machine.parser import parse_goal
+from repro.machine.port import MemoryPort
+from repro.machine.store import (
+    CommArea,
+    GOAL_BASE,
+    HeapStore,
+    RecordArea,
+    SUSP_BASE,
+    SUSP_STRIDE,
+)
+from repro.machine.terms import (
+    ATOM,
+    FUNCTOR,
+    HOOK,
+    INT,
+    LIST,
+    REF,
+    STR,
+    SAtom,
+    SInt,
+    SList,
+    SStruct,
+    STerm,
+    SVar,
+    Word,
+)
+from repro.trace.buffer import TraceBuffer
+from repro.trace.events import Area, Op
+
+
+@dataclass
+class MachineResult:
+    """Outcome of one :meth:`KL1Machine.run`."""
+
+    #: Query-variable bindings, decoded to Python values.
+    answer: Dict[str, object]
+    reductions: int
+    suspensions: int
+    #: Instruction words fetched (the paper's "instr" column).
+    instructions: int
+    #: Total memory references, instruction + data.
+    memory_refs: int
+    wall_seconds: float
+    #: Heap words allocated across all PEs.
+    heap_words: int
+    #: Per-PE reduction counts (load-balance visibility).
+    pe_reductions: List[int] = field(default_factory=list)
+    #: Stop-and-copy collections run (0 unless gc_threshold_words set).
+    gc_collections: int = 0
+    #: Heap words reclaimed across all collections.
+    gc_words_reclaimed: int = 0
+    #: Cache statistics of the execution-driven run (None if no cache).
+    stats: Optional[SystemStats] = None
+    #: Captured reference stream (None if capture was off).
+    trace: Optional[TraceBuffer] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"MachineResult(reductions={self.reductions}, "
+            f"suspensions={self.suspensions}, refs={self.memory_refs}, "
+            f"answer={self.answer})"
+        )
+
+
+class KL1Machine:
+    """A parallel KL1 abstract machine over a PIM cache system."""
+
+    def __init__(
+        self,
+        program: Union[str, Program],
+        config: MachineConfig = MachineConfig(),
+        sim_config: Optional[SimulationConfig] = SimulationConfig(),
+    ):
+        """Build a machine for *program* (FGHC source or a compiled
+        :class:`~repro.machine.compiler.Program`).
+
+        ``sim_config`` of None runs without a cache (pure emulation /
+        trace capture); otherwise the machine drives a
+        :class:`~repro.core.system.PIMCacheSystem` execution-driven.
+        """
+        self.config = config
+        self.n_pes = config.n_pes
+        if isinstance(program, str):
+            program = compile_program(program, max_goal_args=config.max_goal_args)
+        self.program = program
+        self.symbols = program.symbols
+        self.system = (
+            PIMCacheSystem(sim_config, config.n_pes)
+            if sim_config is not None
+            else None
+        )
+        self.trace = TraceBuffer(config.n_pes) if config.capture_trace else None
+        self.port = MemoryPort(
+            self.system,
+            self.trace,
+            conflict_rate=config.lock_conflict_rate,
+            seed=config.seed,
+        )
+        self.heap = HeapStore(config.n_pes)
+        self.goal_area = RecordArea(GOAL_BASE, config.n_pes, config.goal_record_words)
+        self.susp_area = RecordArea(SUSP_BASE, config.n_pes, SUSP_STRIDE)
+        self.comm = CommArea(config.n_pes)
+        self.builtin_handlers = dict(builtin_module.HANDLERS)
+        registers = max(program.max_registers, config.max_goal_args) + 4
+        self.engines = [Engine(self, pe, registers) for pe in range(config.n_pes)]
+        # Global goal accounting (meta-counts; register-mapped, uncounted).
+        self.runnable = 0
+        self.floating = 0
+        self.in_flight = 0
+        self.total_reductions = 0
+        self.total_suspensions = 0
+        # Garbage collection (excluded from measurement, per the paper).
+        self.query_roots: Dict[str, int] = {}
+        self.gc_collections = 0
+        self.gc_words_reclaimed = 0
+
+    # ------------------------------------------------------------------
+    # Instrumented access helpers (see module docstring)
+    # ------------------------------------------------------------------
+
+    def fetch(self, pe: int, address: int) -> None:
+        """One instruction fetch."""
+        self.port.issue(pe, Op.R, Area.INSTRUCTION, address)
+
+    # -- heap ---------------------------------------------------------
+
+    def heap_read_i(self, pe: int, address: int) -> Word:
+        self.port.issue(pe, Op.R, Area.HEAP, address)
+        return self.heap.read(address)
+
+    def heap_alloc_i(self, pe: int, word: Word) -> int:
+        """Push *word* on PE's heap top (a direct write)."""
+        address = self.heap.allocate(pe, word[0], word[1])
+        self.port.issue(pe, Op.DW, Area.HEAP, address)
+        return address
+
+    def heap_alloc_unbound_i(self, pe: int) -> int:
+        address = self.heap.allocate_unbound(pe)
+        self.port.issue(pe, Op.DW, Area.HEAP, address)
+        return address
+
+    def heap_lock_read_i(self, pe: int, address: int, flags: int) -> Word:
+        self.port.issue(pe, Op.LR, Area.HEAP, address, flags)
+        return self.heap.read(address)
+
+    def heap_unlock_write_i(self, pe: int, address: int, word: Word, flags: int) -> None:
+        self.heap.write(address, word[0], word[1])
+        self.port.issue(pe, Op.UW, Area.HEAP, address, flags)
+
+    def heap_unlock_i(self, pe: int, address: int, flags: int) -> None:
+        self.port.issue(pe, Op.U, Area.HEAP, address, flags)
+
+    # -- goal area ------------------------------------------------------
+
+    def goal_write_i(self, pe: int, address: int, value: object) -> None:
+        """Record-creation write (direct write; the controller demotes
+        non-boundary words to plain writes)."""
+        self.goal_area.write(address, value)
+        self.port.issue(pe, Op.DW, Area.GOAL, address)
+
+    def read_goal_record(self, pe: int, record: int) -> List[object]:
+        """Read a dequeued record's words: ER for all but the last used
+        word, RP for the last — the record is dead after this."""
+        arity = self.goal_area.read(record + 2)
+        used = 3 + arity
+        words = []
+        for index in range(used):
+            op = Op.RP if index == used - 1 else Op.ER
+            self.port.issue(pe, op, Area.GOAL, record + index)
+            words.append(self.goal_area.read(record + index))
+        return words
+
+    def goal_read_word_i(self, pe: int, address: int) -> object:
+        """Plain read of one goal-record word (link-chain walking)."""
+        self.port.issue(pe, Op.R, Area.GOAL, address)
+        return self.goal_area.read(address)
+
+    def goal_relink_i(self, pe: int, address: int, value: object) -> None:
+        """Rewrite a live record's link word (chaining stolen goals)."""
+        self.goal_area.write(address, value)
+        self.port.issue(pe, Op.W, Area.GOAL, address)
+
+    def goal_lock_read_i(self, pe: int, address: int, flags: int) -> object:
+        self.port.issue(pe, Op.LR, Area.GOAL, address, flags)
+        return self.goal_area.read(address)
+
+    def goal_unlock_write_i(self, pe: int, address: int, value: object, flags: int) -> None:
+        self.goal_area.write(address, value)
+        self.port.issue(pe, Op.UW, Area.GOAL, address, flags)
+
+    def goal_unlock_i(self, pe: int, address: int, flags: int) -> None:
+        self.port.issue(pe, Op.U, Area.GOAL, address, flags)
+
+    # -- suspension area -------------------------------------------------
+
+    def susp_read_i(self, pe: int, address: int) -> object:
+        self.port.issue(pe, Op.R, Area.SUSPENSION, address)
+        return self.susp_area.read(address)
+
+    def susp_write_i(self, pe: int, address: int, value: object) -> None:
+        self.susp_area.write(address, value)
+        self.port.issue(pe, Op.W, Area.SUSPENSION, address)
+
+    # -- communication area -----------------------------------------------
+
+    def comm_read_i(self, pe: int, address: int, invalidate: bool) -> object:
+        """Read a mailbox word — with RI when the word will be rewritten
+        right after (message consumption), plain R for flag polling."""
+        self.port.issue(pe, Op.RI if invalidate else Op.R, Area.COMMUNICATION, address)
+        return self.comm.read(address)
+
+    def comm_write_i(self, pe: int, address: int, value: object) -> None:
+        self.comm.write(address, value)
+        self.port.issue(pe, Op.W, Area.COMMUNICATION, address)
+
+    def comm_lock_read_i(self, pe: int, address: int, flags: int) -> object:
+        self.port.issue(pe, Op.LR, Area.COMMUNICATION, address, flags)
+        return self.comm.read(address)
+
+    def comm_unlock_write_i(self, pe: int, address: int, value: object, flags: int) -> None:
+        self.comm.write(address, value)
+        self.port.issue(pe, Op.UW, Area.COMMUNICATION, address, flags)
+
+    def comm_unlock_i(self, pe: int, address: int, flags: int) -> None:
+        self.port.issue(pe, Op.U, Area.COMMUNICATION, address, flags)
+
+    # ------------------------------------------------------------------
+    # Goal creation and query setup
+    # ------------------------------------------------------------------
+
+    def create_goal(self, pe: int, functor_id: int, args) -> int:
+        """Write a runnable goal record; the caller links it to a list."""
+        record = self.goal_area.allocate(pe)
+        self.goal_write_i(pe, record, STATUS_RUNNABLE)
+        self.goal_write_i(pe, record + 1, functor_id)
+        self.goal_write_i(pe, record + 2, len(args))
+        for index, word in enumerate(args):
+            self.goal_write_i(pe, record + 3 + index, word)
+        return record
+
+    def build_term(self, pe: int, term: STerm, variables: Dict[str, int]) -> Word:
+        """Construct a source term on PE's heap (for query arguments)."""
+        if isinstance(term, SVar):
+            if term.name != "_" and term.name in variables:
+                return (REF, variables[term.name])
+            address = self.heap_alloc_unbound_i(pe)
+            if term.name != "_":
+                variables[term.name] = address
+            return (REF, address)
+        if isinstance(term, SInt):
+            return (INT, term.value)
+        if isinstance(term, SAtom):
+            return (ATOM, self.symbols.atom(term.name))
+        if isinstance(term, SList):
+            head = self.build_term(pe, term.head, variables)
+            tail = self.build_term(pe, term.tail, variables)
+            address = self.heap_alloc_i(pe, head)
+            self.heap_alloc_i(pe, tail)
+            return (LIST, address)
+        if isinstance(term, SStruct):
+            words = [self.build_term(pe, arg, variables) for arg in term.args]
+            functor_id = self.symbols.functor(term.name, term.arity)
+            address = self.heap_alloc_i(pe, (FUNCTOR, functor_id))
+            for word in words:
+                self.heap_alloc_i(pe, word)
+            return (STR, address)
+        raise MachineError(f"cannot build query term {term}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, query: str, max_reductions: Optional[int] = None) -> MachineResult:
+        """Reduce *query* (e.g. ``"main(12, Result)"``) to completion."""
+        goal = parse_goal(query)
+        functor_id = self.symbols.functor(goal.name, len(goal.args))
+        if (
+            functor_id not in self.program.procedures
+            and functor_id not in self.program.builtins
+        ):
+            raise ProgramFailure(
+                f"query names undefined procedure {goal.name}/{len(goal.args)}"
+            )
+        self.query_roots = {}
+        args = tuple(self.build_term(0, arg, self.query_roots) for arg in goal.args)
+        record = self.create_goal(0, functor_id, args)
+        self.engines[0].goal_list.append(record)
+        self.runnable += 1
+
+        cap = max_reductions if max_reductions is not None else self.config.max_reductions
+        gc_threshold = self.config.gc_threshold_words
+        engines = self.engines
+        n_pes = self.n_pes
+        sweep = 0
+        started = time.perf_counter()
+        while True:
+            if self.runnable == 0 and self.in_flight == 0:
+                if self.floating == 0:
+                    break
+                raise DeadlockError(
+                    f"{self.floating} goal(s) suspended forever; "
+                    "the program is waiting on variables nobody will bind"
+                )
+            offset = sweep % n_pes
+            for position in range(n_pes):
+                engines[(position + offset) % n_pes].step()
+            sweep += 1
+            if self.total_reductions > cap:
+                raise LimitExceededError(
+                    f"exceeded {cap} reductions; raise max_reductions if intended"
+                )
+            if gc_threshold is not None and any(
+                self.heap.top(pe) > gc_threshold for pe in range(n_pes)
+            ):
+                self.collect()
+        wall = time.perf_counter() - started
+
+        answer = {
+            name: self.decode((REF, address))
+            for name, address in self.query_roots.items()
+        }
+        return MachineResult(
+            answer=answer,
+            reductions=self.total_reductions,
+            suspensions=self.total_suspensions,
+            instructions=self.port.instruction_refs,
+            memory_refs=self.port.total_refs,
+            wall_seconds=wall,
+            heap_words=self.heap.total_words(),
+            pe_reductions=[engine.reductions for engine in engines],
+            gc_collections=self.gc_collections,
+            gc_words_reclaimed=self.gc_words_reclaimed,
+            stats=self.system.stats if self.system is not None else None,
+            trace=self.trace,
+        )
+
+    def collect(self):
+        """Run one stop-and-copy garbage collection (see
+        :mod:`repro.machine.gc`)."""
+        from repro.machine import gc as gc_module
+
+        return gc_module.collect(self)
+
+    # ------------------------------------------------------------------
+    # Decoding (uninstrumented; for answers, tests and error messages)
+    # ------------------------------------------------------------------
+
+    def decode(self, word: Word):
+        """Decode a tagged word to a Python value: ints, atom strings,
+        lists, ``(functor, args...)`` tuples; unbound variables decode to
+        ``"_G<address>"`` strings."""
+        tag, value = self._peek(word)
+        if tag == REF:
+            return f"_G{value:x}"
+        if tag == INT:
+            return value
+        if tag == ATOM:
+            return self.symbols.atom_name(value)
+        if tag == LIST:
+            items = []
+            while tag == LIST:
+                items.append(self.decode(self.heap.read(value)))
+                tag, value = self._peek(self.heap.read(value + 1))
+            if tag == ATOM and self.symbols.atom_name(value) == "[]":
+                return items
+            return (items, self.decode((tag, value)))  # improper list
+        if tag == STR:
+            _, functor_id = self.heap.read(value)
+            name, arity = self.symbols.functor_name(functor_id)
+            return tuple(
+                [name]
+                + [self.decode(self.heap.read(value + 1 + i)) for i in range(arity)]
+            )
+        raise MachineError(f"cannot decode word {(tag, value)}")  # pragma: no cover
+
+    def _peek(self, word: Word) -> Word:
+        """Uninstrumented dereference."""
+        tag, value = word
+        while tag == REF:
+            cell_tag, cell_value = self.heap.read(value)
+            if cell_tag == REF:
+                if cell_value == value:
+                    return (REF, value)
+                value = cell_value
+            elif cell_tag == HOOK:
+                return (REF, value)
+            else:
+                return (cell_tag, cell_value)
+        return (tag, value)
+
+    def format_word(self, word: Word) -> str:
+        """Render a tagged word for error messages."""
+        decoded = self.decode(word)
+        return repr(decoded)
+
+    def __repr__(self) -> str:
+        return (
+            f"KL1Machine(n_pes={self.n_pes}, "
+            f"procedures={len(self.program.procedures)}, "
+            f"reductions={self.total_reductions})"
+        )

@@ -1,0 +1,285 @@
+"""FGHC source parser.
+
+The grammar is the committed-choice subset the paper's benchmarks need::
+
+    program  ::= clause*
+    clause   ::= head ( ":-" conj )? "."
+    head     ::= atom | atom "(" term ("," term)* ")"
+    conj     ::= goals ( "|" goals )?        -- guards | body
+    goals    ::= goal ("," goal)*
+    goal     ::= comparison | assignment | unification | call | atom
+    term     ::= var | int | atom | list | struct | "(" expr ")" | expr
+
+Guard goals are built-in tests only (``<``, ``=<``, ``>``, ``>=``,
+``=:=``, ``=\\=``, ``==``, ``\\==``, ``integer/1``, ``wait/1``,
+``otherwise``, ``true``); body goals are user calls, ``=`` unification,
+and ``:=`` arithmetic assignment.  Arithmetic expressions support
+``+ - * / mod`` with the usual precedence and parenthesization, plus
+unary minus.  ``%`` starts a comment running to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.machine.errors import FGHCSyntaxError
+from repro.machine.terms import (
+    NIL,
+    Clause,
+    SAtom,
+    SInt,
+    SList,
+    SStruct,
+    STerm,
+    SVar,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|%[^\n]*)
+  | (?P<int>\d+)
+  | (?P<var>[A-Z_][A-Za-z0-9_]*)
+  | (?P<atom>[a-z][A-Za-z0-9_]*)
+  | (?P<punct>:=|:-|=<|>=|=:=|=\\=|==|\\==|\|\||[()\[\],.|<>=+\-*/])
+    """,
+    re.VERBOSE,
+)
+
+#: Binary comparison operators legal in guards.
+COMPARISON_OPS = ("<", "=<", ">", ">=", "=:=", "=\\=", "==", "\\==")
+
+#: Arithmetic operators, by precedence level (loosest first).
+_ADD_OPS = ("+", "-")
+_MUL_OPS = ("*", "/", "mod")
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind: str, text: str, line: int, column: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"_Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens = []
+    line = 1
+    line_start = 0
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            column = position - line_start + 1
+            raise FGHCSyntaxError(
+                f"unexpected character {source[position]!r}", line, column
+            )
+        kind = match.lastgroup
+        text = match.group()
+        if kind != "ws":
+            tokens.append(_Token(kind, text, line, position - line_start + 1))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = position + text.rfind("\n") + 1
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.tokens = _tokenize(source)
+        self.position = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    def _peek(self) -> Optional[_Token]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise FGHCSyntaxError("unexpected end of input")
+        self.position += 1
+        return token
+
+    def _expect(self, text: str) -> _Token:
+        token = self._next()
+        if token.text != text:
+            raise FGHCSyntaxError(
+                f"expected {text!r}, found {token.text!r}", token.line, token.column
+            )
+        return token
+
+    def _at(self, text: str) -> bool:
+        token = self._peek()
+        return token is not None and token.text == text
+
+    # -- grammar --------------------------------------------------------
+
+    def program(self) -> List[Clause]:
+        clauses = []
+        while self._peek() is not None:
+            clauses.append(self.clause())
+        return clauses
+
+    def clause(self) -> Clause:
+        head = self.term()
+        if isinstance(head, SAtom):
+            head = SStruct(head.name, ())
+        if not isinstance(head, SStruct):
+            token = self._peek()
+            raise FGHCSyntaxError(
+                f"clause head must be a predicate, found {head}",
+                token.line if token else 0,
+                token.column if token else 0,
+            )
+        guards: Tuple[STerm, ...] = ()
+        body: Tuple[STerm, ...] = ()
+        if self._at(":-"):
+            self._next()
+            first = self.goals()
+            if self._at("|"):
+                self._next()
+                guards = tuple(first)
+                body = tuple(self.goals())
+            else:
+                body = tuple(first)
+        self._expect(".")
+        guards = tuple(g for g in guards if not _is_true(g))
+        body = tuple(b for b in body if not _is_true(b))
+        return Clause(head, guards, body)
+
+    def goals(self) -> List[STerm]:
+        items = [self.goal()]
+        while self._at(","):
+            self._next()
+            items.append(self.goal())
+        return items
+
+    def goal(self) -> STerm:
+        left = self.expr()
+        token = self._peek()
+        if token is not None and (
+            token.text in COMPARISON_OPS or token.text in ("=", ":=")
+        ):
+            op = self._next().text
+            right = self.expr()
+            return SStruct(op, (left, right))
+        return left
+
+    def expr(self) -> STerm:
+        """Additive-precedence expression."""
+        left = self.mul_expr()
+        while True:
+            token = self._peek()
+            if token is None or token.text not in _ADD_OPS:
+                return left
+            op = self._next().text
+            right = self.mul_expr()
+            left = SStruct(op, (left, right))
+
+    def mul_expr(self) -> STerm:
+        left = self.unary_expr()
+        while True:
+            token = self._peek()
+            if token is None or token.text not in _MUL_OPS:
+                return left
+            # ``mod`` is an atom token; only treat it as an operator when
+            # something follows that can start an operand.
+            op = self._next().text
+            right = self.unary_expr()
+            left = SStruct(op, (left, right))
+
+    def unary_expr(self) -> STerm:
+        if self._at("-"):
+            self._next()
+            operand = self.unary_expr()
+            if isinstance(operand, SInt):
+                return SInt(-operand.value)
+            return SStruct("-", (SInt(0), operand))
+        return self.primary()
+
+    def primary(self) -> STerm:
+        token = self._next()
+        if token.kind == "int":
+            return SInt(int(token.text))
+        if token.kind == "var":
+            return SVar(token.text)
+        if token.kind == "atom":
+            if token.text == "mod":
+                raise FGHCSyntaxError(
+                    "'mod' is an operator, not an atom", token.line, token.column
+                )
+            if self._at("("):
+                self._next()
+                args = [self.term()]
+                while self._at(","):
+                    self._next()
+                    args.append(self.term())
+                self._expect(")")
+                return SStruct(token.text, tuple(args))
+            return SAtom(token.text)
+        if token.text == "(":
+            inner = self.expr()
+            self._expect(")")
+            return inner
+        if token.text == "[":
+            return self.list_tail()
+        raise FGHCSyntaxError(
+            f"unexpected token {token.text!r}", token.line, token.column
+        )
+
+    def term(self) -> STerm:
+        """A term in argument position — arithmetic operators allowed so
+        benchmarks can write e.g. ``p(N - 1, X)`` via explicit structs."""
+        return self.expr()
+
+    def list_tail(self) -> STerm:
+        if self._at("]"):
+            self._next()
+            return NIL
+        items = [self.term()]
+        while self._at(","):
+            self._next()
+            items.append(self.term())
+        tail: STerm = NIL
+        if self._at("|"):
+            self._next()
+            tail = self.term()
+        self._expect("]")
+        result = tail
+        for item in reversed(items):
+            result = SList(item, result)
+        return result
+
+
+def _is_true(goal: STerm) -> bool:
+    return isinstance(goal, SAtom) and goal.name == "true"
+
+
+def parse_program(source: str) -> List[Clause]:
+    """Parse FGHC *source* text into a list of clauses."""
+    return _Parser(source).program()
+
+
+def parse_goal(source: str) -> STerm:
+    """Parse a single goal (for queries), e.g. ``"main(12, R)"``."""
+    parser = _Parser(source if source.rstrip().endswith(".") else source + " .")
+    goal = parser.goal()
+    parser._expect(".")
+    if parser._peek() is not None:
+        token = parser._peek()
+        raise FGHCSyntaxError(
+            f"trailing input after goal: {token.text!r}", token.line, token.column
+        )
+    if isinstance(goal, SAtom):
+        goal = SStruct(goal.name, ())
+    return goal

@@ -1,0 +1,174 @@
+"""Backing stores for the five storage areas, with address arithmetic.
+
+Addresses are words in a single flat space: bits 28+ select the area
+(see :mod:`repro.trace.events`), bits 24-27 select the owning PE's
+segment, bits 0-23 the offset.  The stores here hold the *contents*
+(Python objects); all instrumentation — which operation touches the
+cache and appears in the trace — is issued by the engine through
+:class:`repro.machine.port.MemoryPort`, keeping policy (R vs ER vs DW)
+visible in one place, next to the architecture logic that decides it.
+
+Management disciplines follow Section 2.2: the heap grows from the top
+and is never reused during measurement; the goal, suspension and
+communication areas are free-list managed.  Free-list head pointers are
+processor registers (not counted as memory references).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.machine.errors import HeapOverflowError
+from repro.machine.terms import REF, Word
+from repro.trace.events import AREA_BASE, Area
+
+#: Bits of offset within one PE's segment of an area.
+SEGMENT_SHIFT = 24
+SEGMENT_MASK = (1 << SEGMENT_SHIFT) - 1
+
+HEAP_BASE = AREA_BASE[Area.HEAP]
+GOAL_BASE = AREA_BASE[Area.GOAL]
+SUSP_BASE = AREA_BASE[Area.SUSPENSION]
+COMM_BASE = AREA_BASE[Area.COMMUNICATION]
+INSTR_BASE = AREA_BASE[Area.INSTRUCTION]
+
+#: Suspension records are packed at this stride (3 words used).
+SUSP_STRIDE = 4
+
+#: Offsets within a PE's communication mailbox.
+COMM_FLAG_OFFSET = 0  #: request flag word (locked by requesters)
+COMM_LOAD_OFFSET = 4  #: advertised-load hint word (read by idle PEs)
+COMM_REPLY_OFFSET = 8  #: two-word reply message slot
+
+
+def segment_base(area_base: int, pe: int) -> int:
+    return area_base | (pe << SEGMENT_SHIFT)
+
+
+def owner_of(address: int) -> int:
+    """The PE whose segment contains *address*."""
+    return (address >> SEGMENT_SHIFT) & 0xF
+
+
+class HeapStore:
+    """Tagged-cell heap, one top-allocated segment per PE."""
+
+    __slots__ = ("cells", "limit")
+
+    def __init__(self, n_pes: int, limit: int = SEGMENT_MASK):
+        self.cells: List[List[Word]] = [[] for _ in range(n_pes)]
+        self.limit = limit
+
+    def allocate(self, pe: int, tag: int, value: int) -> int:
+        """Push one cell on PE's heap top; returns its address."""
+        segment = self.cells[pe]
+        index = len(segment)
+        if index >= self.limit:
+            raise HeapOverflowError(
+                f"PE{pe} heap segment full ({index} cells); "
+                "use a larger scale preset or raise the segment limit"
+            )
+        segment.append((tag, value))
+        return HEAP_BASE | (pe << SEGMENT_SHIFT) | index
+
+    def allocate_unbound(self, pe: int) -> int:
+        """Push a fresh unbound variable (a REF to itself)."""
+        segment = self.cells[pe]
+        index = len(segment)
+        if index >= self.limit:
+            raise HeapOverflowError(f"PE{pe} heap segment full ({index} cells)")
+        address = HEAP_BASE | (pe << SEGMENT_SHIFT) | index
+        segment.append((REF, address))
+        return address
+
+    def read(self, address: int) -> Word:
+        return self.cells[(address >> SEGMENT_SHIFT) & 0xF][address & SEGMENT_MASK]
+
+    def write(self, address: int, tag: int, value: int) -> None:
+        self.cells[(address >> SEGMENT_SHIFT) & 0xF][address & SEGMENT_MASK] = (
+            tag,
+            value,
+        )
+
+    def top(self, pe: int) -> int:
+        """Words allocated in PE's segment so far."""
+        return len(self.cells[pe])
+
+    def total_words(self) -> int:
+        return sum(len(segment) for segment in self.cells)
+
+
+class RecordArea:
+    """A free-list-managed area of fixed-stride records (goal and
+    suspension areas).  Record words hold arbitrary Python objects
+    (tagged words, ints)."""
+
+    __slots__ = ("base", "stride", "words", "free", "high_water")
+
+    def __init__(self, area_base: int, n_pes: int, stride: int):
+        self.base = area_base
+        self.stride = stride
+        self.words: List[List[object]] = [[] for _ in range(n_pes)]
+        #: Per-PE free list of record base addresses (a register-mapped
+        #: stack; its pushes/pops are not memory references).
+        self.free: List[List[int]] = [[] for _ in range(n_pes)]
+        self.high_water = [0] * n_pes
+
+    def allocate(self, pe: int) -> int:
+        """Take a record from PE's free list, extending the area if empty."""
+        free = self.free[pe]
+        if free:
+            return free.pop()
+        words = self.words[pe]
+        index = len(words)
+        words.extend([0] * self.stride)
+        self.high_water[pe] = len(words)
+        return self.base | (pe << SEGMENT_SHIFT) | index
+
+    def release(self, address: int) -> None:
+        """Return a record to its owning segment's free list."""
+        self.free[(address >> SEGMENT_SHIFT) & 0xF].append(address)
+
+    def read(self, address: int) -> object:
+        return self.words[(address >> SEGMENT_SHIFT) & 0xF][address & SEGMENT_MASK]
+
+    def write(self, address: int, value: object) -> None:
+        self.words[(address >> SEGMENT_SHIFT) & 0xF][address & SEGMENT_MASK] = value
+
+
+class CommArea:
+    """Per-PE mailboxes: a request-flag word, an advertised-load hint
+    word, and a two-word reply slot.
+
+    The flag is written by requesters under lock (several idle PEs may
+    race for the same victim); the load hint is written by its owner and
+    polled by idle PEs (a cache hit in S until it changes); the reply
+    slot is written once by the victim and read once — with RI — by the
+    requester.  Flag, hint and reply sit in different four-word blocks
+    to avoid false sharing at the base block size.
+    """
+
+    __slots__ = ("words",)
+
+    #: Words reserved per mailbox (flag at +0, load at +4, reply at +8).
+    MAILBOX_WORDS = 16
+
+    def __init__(self, n_pes: int):
+        self.words: List[List[object]] = [
+            [0] * self.MAILBOX_WORDS for _ in range(n_pes)
+        ]
+
+    def flag_address(self, pe: int) -> int:
+        return COMM_BASE | (pe << SEGMENT_SHIFT) | COMM_FLAG_OFFSET
+
+    def load_address(self, pe: int) -> int:
+        return COMM_BASE | (pe << SEGMENT_SHIFT) | COMM_LOAD_OFFSET
+
+    def reply_address(self, pe: int) -> int:
+        return COMM_BASE | (pe << SEGMENT_SHIFT) | COMM_REPLY_OFFSET
+
+    def read(self, address: int) -> object:
+        return self.words[(address >> SEGMENT_SHIFT) & 0xF][address & SEGMENT_MASK]
+
+    def write(self, address: int, value: object) -> None:
+        self.words[(address >> SEGMENT_SHIFT) & 0xF][address & SEGMENT_MASK] = value

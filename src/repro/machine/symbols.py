@@ -1,0 +1,55 @@
+"""Interning of atoms and functors.
+
+Runtime words carry integer ids; this table maps them back to names for
+decoding answers and debugging.  Procedure names are functor ids, so the
+table also serves as the procedure namespace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class SymbolTable:
+    """Bidirectional atom and functor interning."""
+
+    def __init__(self) -> None:
+        self._atom_ids: Dict[str, int] = {}
+        self._atom_names: List[str] = []
+        self._functor_ids: Dict[Tuple[str, int], int] = {}
+        self._functors: List[Tuple[str, int]] = []
+
+    def atom(self, name: str) -> int:
+        """Intern *name*, returning its atom id."""
+        atom_id = self._atom_ids.get(name)
+        if atom_id is None:
+            atom_id = len(self._atom_names)
+            self._atom_ids[name] = atom_id
+            self._atom_names.append(name)
+        return atom_id
+
+    def atom_name(self, atom_id: int) -> str:
+        return self._atom_names[atom_id]
+
+    def functor(self, name: str, arity: int) -> int:
+        """Intern ``name/arity``, returning its functor id."""
+        key = (name, arity)
+        functor_id = self._functor_ids.get(key)
+        if functor_id is None:
+            functor_id = len(self._functors)
+            self._functor_ids[key] = functor_id
+            self._functors.append(key)
+        return functor_id
+
+    def functor_name(self, functor_id: int) -> Tuple[str, int]:
+        return self._functors[functor_id]
+
+    def functor_str(self, functor_id: int) -> str:
+        name, arity = self._functors[functor_id]
+        return f"{name}/{arity}"
+
+    def __repr__(self) -> str:
+        return (
+            f"SymbolTable({len(self._atom_names)} atoms, "
+            f"{len(self._functors)} functors)"
+        )

@@ -1,0 +1,91 @@
+"""The paper's four KL1 benchmarks, re-implemented in FGHC.
+
+The original sources (Tick's benchmark suite) are not in the paper; the
+re-implementations reproduce the documented *shape* of each workload:
+
+* :mod:`~repro.programs.tri` — triangle peg-solitaire search: a tree of
+  height ~12 expanding 36 candidate jumps per node (the paper's own
+  description), essentially suspension-free, with many small tasks whose
+  distribution stresses the scheduler (Tri's bus traffic is
+  communication-dominated at 8 PEs).
+* :mod:`~repro.programs.semi` — semigroup closure: breadth rounds of
+  products filtered through membership scans; read-heavy (the paper
+  measures 93 % reads) with a small working set, and stream filters that
+  suspend heavily.
+* :mod:`~repro.programs.puzzle` — exhaustive packing (domino tiling):
+  every placement copies the board, making it the heap-heaviest
+  benchmark (81 % of bus cycles from the heap in the paper).
+* :mod:`~repro.programs.pascal` — Pascal's-triangle row pipeline: one
+  process per row consuming its predecessor's stream as it is produced;
+  suspension- and communication-heavy.
+
+Each benchmark exposes scale presets; ``"paper"`` approaches the
+original workload sizes (hundreds of thousands of reductions) and the
+smaller presets keep the pure-Python emulator affordable, as DESIGN.md's
+substitution table records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.programs import pascal, puzzle, semi, tri
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One benchmark: FGHC source plus scale presets and an oracle."""
+
+    name: str
+    #: FGHC program text.
+    source: str
+    #: scale name -> query string.
+    queries: Dict[str, str]
+    #: The query variable holding the checkable result.
+    answer_var: str
+    #: scale name -> expected decoded answer (Python reference).
+    expected: Dict[str, object]
+
+    def query(self, scale: str = "small") -> str:
+        try:
+            return self.queries[scale]
+        except KeyError:
+            raise KeyError(
+                f"benchmark {self.name!r} has no scale {scale!r}; "
+                f"available: {sorted(self.queries)}"
+            ) from None
+
+
+#: Scale presets shared by all benchmarks.
+SCALES = ("tiny", "small", "medium", "paper")
+
+
+def _build() -> Dict[str, Benchmark]:
+    registry = {}
+    for module in (tri, semi, puzzle, pascal):
+        benchmark = module.benchmark()
+        registry[benchmark.name] = benchmark
+    return registry
+
+
+_REGISTRY = None
+
+
+def get(name: str) -> Benchmark:
+    """Look up a benchmark by name (``tri``, ``semi``, ``puzzle``,
+    ``pascal``)."""
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = _build()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def names() -> Tuple[str, ...]:
+    """All benchmark names, in the paper's order."""
+    return ("tri", "semi", "puzzle", "pascal")

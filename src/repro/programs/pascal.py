@@ -1,0 +1,76 @@
+"""Pascal: a Pascal's-triangle row pipeline.
+
+Row ``i+1`` of Pascal's triangle is computed by a dedicated process
+consuming row ``i`` *as it is produced*: the rows are streams, and every
+``nextrow`` process suspends at its input's unbound tail until the
+upstream process extends it.  All ``N`` row processes are spawned up
+front, so the machine runs a deep producer/consumer pipeline — the
+stream-AND-parallel style Section 2.1 describes — making Pascal the
+suspension- and communication-heavy benchmark of the suite (the paper
+reports 17 681 suspensions and a 25 % communication share of bus
+cycles).
+
+The answer is the sum of row ``N``'s entries, ``2^(N-1)``, which also
+exercises big integers for large ``N`` (the original benchmark computed
+bignum rows).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+SOURCE = """
+% Pascal: row I+1 is computed from row I's stream as it is produced;
+% one process per row, all spawned up front.
+pascal(N, Sum) :- rows(1, N, [1], Sum).
+
+rows(I, N, Row, Sum) :- I =:= N | total(Row, 0, Sum).
+rows(I, N, Row, Sum) :- I < N |
+    nextrow(Row, Row2),
+    I1 := I + 1,
+    rows(I1, N, Row2, Sum).
+
+% [1 | pairwise sums | 1] -- the trailing 1 comes from the [A] case.
+nextrow(Row, Out) :- Out = [1|Out2], pairs(Row, Out2).
+
+pairs([A], Out) :- Out = [A].
+pairs([A, B|Rest], Out) :-
+    S := A + B,
+    Out = [S|Out2],
+    pairs([B|Rest], Out2).
+
+total([], Acc, Sum) :- Sum = Acc.
+total([X|Xs], Acc, Sum) :-
+    Acc2 := Acc + X,
+    total(Xs, Acc2, Sum).
+
+main(N, Sum) :- pascal(N, Sum).
+"""
+
+
+def reference(n_rows: int) -> int:
+    """Python oracle: the sum of row ``n_rows`` is 2^(n_rows - 1)."""
+    return 2 ** (n_rows - 1)
+
+
+#: scale -> number of rows.
+SCALE_ROWS: Dict[str, int] = {
+    "tiny": 12,
+    "small": 100,
+    "medium": 160,
+    "paper": 300,
+}
+
+
+def benchmark():
+    from repro.programs import Benchmark
+
+    return Benchmark(
+        name="pascal",
+        source=SOURCE,
+        queries={
+            scale: f"main({rows}, Sum)" for scale, rows in SCALE_ROWS.items()
+        },
+        answer_var="Sum",
+        expected={scale: reference(rows) for scale, rows in SCALE_ROWS.items()},
+    )

@@ -1,0 +1,138 @@
+"""Puzzle: exhaustive packing search (domino tilings).
+
+A 2-D descendant of the classic packing-puzzle benchmark: count the ways
+to tile a ``W`` x ``H`` board with dominoes.  The board is a flat list of
+cells; every placement rebuilds the board list twice (one copy per
+covered cell), so the workload is dominated by dynamic structure
+creation — matching the paper's Puzzle, whose heap accounts for 81 % of
+bus cycles and which has the largest data structures of the four
+benchmarks (Section 4.4 notes its heavy swap and cache-to-cache traffic).
+
+The search finds the first free cell, tries a horizontal and a vertical
+domino there, and recurses; the two orientations are AND-parallel
+subtrees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+SOURCE = """
+% Puzzle: count domino tilings of a W x H board held as a flat cell
+% list (0 = free, 1 = covered); each placement copies the board.
+puzzle(W, H, Count) :-
+    S := W * H,
+    board(S, B),
+    fill(B, W, Count).
+
+board(0, B) :- B = [].
+board(N, B) :- N > 0 | B = [0|B2], N1 := N - 1, board(N1, B2).
+
+fill(B, W, Count) :-
+    firstfree(B, 0, I),
+    place(I, B, W, Count).
+
+% No free cell: one complete tiling.
+place(-1, B, W, Count) :- Count = 1.
+place(I, B, W, Count) :- I >= 0 |
+    hplace(I, B, W, C1),
+    vplace(I, B, W, C2),
+    Count := C1 + C2.
+
+% Horizontal domino at I, I+1 (same row, next cell free).
+hplace(I, B, W, C) :- (I + 1) mod W =\\= 0 |
+    I1 := I + 1,
+    cell(B, I1, V),
+    hplace2(V, I, B, W, C).
+hplace(I, B, W, C) :- (I + 1) mod W =:= 0 | C = 0.
+
+hplace2(1, I, B, W, C) :- C = 0.
+hplace2(0, I, B, W, C) :-
+    I1 := I + 1,
+    setcell(B, I, B1),
+    setcell(B1, I1, B2),
+    fill(B2, W, C).
+
+% Vertical domino at I, I+W.
+vplace(I, B, W, C) :-
+    I1 := I + W,
+    cell(B, I1, V),
+    vplace2(V, I, B, W, C).
+
+vplace2(1, I, B, W, C) :- C = 0.
+vplace2(0, I, B, W, C) :-
+    I1 := I + W,
+    setcell(B, I, B1),
+    setcell(B1, I1, B2),
+    fill(B2, W, C).
+
+% Index of the first free cell, or -1 when the board is full.
+firstfree([], I, R) :- R = -1.
+firstfree([0|Cs], I, R) :- R = I.
+firstfree([1|Cs], I, R) :- I1 := I + 1, firstfree(Cs, I1, R).
+
+% cell(B, I, V): V is cell I, or 1 (occupied) when I is off the board.
+cell([], I, V) :- V = 1.
+cell([C|Cs], 0, V) :- V = C.
+cell([C|Cs], I, V) :- I > 0 | I1 := I - 1, cell(Cs, I1, V).
+
+% setcell(B, I, B2): B2 is B with cell I covered (a full copy).
+setcell([C|Cs], 0, B2) :- B2 = [1|Cs].
+setcell([C|Cs], I, B2) :- I > 0 |
+    I1 := I - 1,
+    B2 = [C|B3],
+    setcell(Cs, I1, B3).
+
+main(W, H, Count) :- puzzle(W, H, Count).
+"""
+
+
+def reference(width: int, height: int) -> int:
+    """Python oracle: the number of domino tilings of width x height."""
+
+    def fill(board: Tuple[int, ...]) -> int:
+        try:
+            index = board.index(0)
+        except ValueError:
+            return 1
+        total = 0
+        # Horizontal.
+        if (index + 1) % width != 0 and board[index + 1] == 0:
+            nxt = list(board)
+            nxt[index] = nxt[index + 1] = 1
+            total += fill(tuple(nxt))
+        # Vertical.
+        if index + width < len(board) and board[index + width] == 0:
+            nxt = list(board)
+            nxt[index] = nxt[index + width] = 1
+            total += fill(tuple(nxt))
+        return total
+
+    return fill(tuple([0] * (width * height)))
+
+
+#: scale -> (width, height).
+SCALE_PARAMS: Dict[str, Tuple[int, int]] = {
+    "tiny": (3, 4),
+    "small": (4, 5),
+    "medium": (4, 6),
+    "paper": (4, 7),
+}
+
+
+def benchmark():
+    from repro.programs import Benchmark
+
+    return Benchmark(
+        name="puzzle",
+        source=SOURCE,
+        queries={
+            scale: f"main({width}, {height}, Count)"
+            for scale, (width, height) in SCALE_PARAMS.items()
+        },
+        answer_var="Count",
+        expected={
+            scale: reference(width, height)
+            for scale, (width, height) in SCALE_PARAMS.items()
+        },
+    )

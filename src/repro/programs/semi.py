@@ -1,0 +1,141 @@
+"""Semi: semigroup closure.
+
+Computes the closure of a generator set under a binary operation
+(multiplication modulo ``M``), in breadth rounds: each round forms all
+products of the known elements, streams them through a duplicate filter,
+and appends the survivors.  The workload shape matches the paper's Semi:
+
+* *read-heavy* — the membership scans (``mem``) walk the accumulated
+  element list for every candidate, so reads dominate (the paper
+  measures 93 % reads and only 3 % writes for Semi);
+* *small working set* — the element list is the only live data, which is
+  why Semi is the one benchmark captured by even the smallest caches in
+  Figure 2;
+* *suspension-heavy* — the filter consumes the product stream while the
+  producers are still generating it, suspending at the stream tail
+  (Semi has the paper's highest suspension count).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+SOURCE = """
+% Semi: closure of generators under multiplication mod M, in breadth
+% rounds; the products stream through a duplicate filter.  The
+% membership scans (the bulk of the work) run AND-parallel: checks/4
+% spawns one mem/3 scan per candidate, and dedupe/4 consumes the
+% verdict stream, catching within-round duplicates against the short
+% kept list.
+semi(M, R, Count) :- closure(R, M, [2, 3], Count).
+
+closure(0, M, All, Count) :- len(All, 0, Count).
+closure(R, M, All, Count) :- R > 0 |
+    prods(All, All, M, Cands),
+    checks(Cands, All, Verdicts),
+    dedupe(Verdicts, [], New),
+    joinup(R, M, All, New, Count).
+
+% When a round yields nothing new the closure is complete.
+joinup(R, M, All, [], Count) :- len(All, 0, Count).
+joinup(R, M, All, [N|Ns], Count) :-
+    R1 := R - 1,
+    app([N|Ns], All, All2),
+    closure(R1, M, All2, Count).
+
+% All products A*B for A in the first list, B in the second.
+prods([], Bs, M, Out) :- Out = [].
+prods([A|As], Bs, M, Out) :-
+    row(A, Bs, M, Out, Rest),
+    prods(As, Bs, M, Rest).
+
+row(A, [], M, Out, Rest) :- Out = Rest.
+row(A, [B|Bs], M, Out, Rest) :-
+    C := (A * B) mod M,
+    Out = [C|Out2],
+    row(A, Bs, M, Out2, Rest).
+
+% One parallel membership scan per candidate.
+checks([], All, Out) :- Out = [].
+checks([C|Cs], All, Out) :-
+    mem(C, All, Seen),
+    Out = [v(C, Seen)|Out2],
+    checks(Cs, All, Out2).
+
+% Sequentially keep the candidates that were unknown and are not
+% within-round duplicates (Kept stays short, so this scan is cheap).
+dedupe([], Kept, New) :- New = [].
+dedupe([v(C, Seen)|Vs], Kept, New) :-
+    dedupe2(Seen, C, Vs, Kept, New).
+
+dedupe2(yes, C, Vs, Kept, New) :- dedupe(Vs, Kept, New).
+dedupe2(no, C, Vs, Kept, New) :-
+    mem(C, Kept, Again),
+    dedupe3(Again, C, Vs, Kept, New).
+
+dedupe3(yes, C, Vs, Kept, New) :- dedupe(Vs, Kept, New).
+dedupe3(no, C, Vs, Kept, New) :-
+    New = [C|New2],
+    dedupe(Vs, [C|Kept], New2).
+
+mem(X, [], R) :- R = no.
+mem(X, [X|Ys], R) :- R = yes.
+mem(X, [Y|Ys], R) :- X =\\= Y | mem(X, Ys, R).
+
+app([], Ys, Z) :- Z = Ys.
+app([X|Xs], Ys, Z) :- Z = [X|Z2], app(Xs, Ys, Z2).
+
+len([], N, R) :- R = N.
+len([X|Xs], N, R) :- N1 := N + 1, len(Xs, N1, R).
+
+main(M, R, Count) :- semi(M, R, Count).
+"""
+
+
+def reference(modulus: int, rounds: int) -> int:
+    """Python oracle: closure size of {2, 3} under ``(a*b) mod modulus``
+    after at most *rounds* breadth rounds."""
+    all_elements: List[int] = [2, 3]
+    for _ in range(rounds):
+        known = list(all_elements)
+        new: List[int] = []
+        seen = set(known)
+        for a in known:
+            for b in known:
+                c = (a * b) % modulus
+                if c not in seen:
+                    seen.add(c)
+                    new.append(c)
+        if not new:
+            break
+        # The FGHC filter prepends survivors to its working set, and the
+        # round appends New in discovery order; only the *size* matters.
+        all_elements = new + all_elements if False else all_elements + new
+    return len(all_elements)
+
+
+#: scale -> (modulus, rounds).
+SCALE_PARAMS: Dict[str, Tuple[int, int]] = {
+    "tiny": (23, 2),
+    "small": (47, 4),
+    "medium": (101, 4),
+    "paper": (251, 5),
+}
+
+
+def benchmark():
+    from repro.programs import Benchmark
+
+    return Benchmark(
+        name="semi",
+        source=SOURCE,
+        queries={
+            scale: f"main({modulus}, {rounds}, Count)"
+            for scale, (modulus, rounds) in SCALE_PARAMS.items()
+        },
+        answer_var="Count",
+        expected={
+            scale: reference(modulus, rounds)
+            for scale, (modulus, rounds) in SCALE_PARAMS.items()
+        },
+    )

@@ -1,0 +1,127 @@
+"""Tri: triangle peg-solitaire search.
+
+The classic 15-hole triangular board; a move jumps a peg over an
+adjacent peg into an empty hole, removing the jumped peg.  The paper
+describes Tri as "a search tree of height 12 with a branch factor of 36
+at each node" — 36 is exactly the number of (from, over, to) jump lines
+on the 15-hole board, all of which are tried at every node.
+
+The board is a 15-bit integer (bit *i* set = peg in hole *i*); jump
+legality tests are pure arithmetic in the guards, so each node's 36
+candidate expansions are almost suspension-free — Tri's parallelism
+comes from distributing the many small subtree tasks, which is why its
+bus traffic is dominated by scheduler communication at 8 PEs (paper
+Figure 3 / Table 2).
+
+``tri(Board, Pegs, Stop, N)`` counts the jump sequences that reduce the
+board to ``Stop`` pegs; ``Stop`` is the scale knob (the full game runs
+to one peg).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Hole index of each (row, column) on the triangular board.
+_INDEX = {}
+_counter = 0
+for _row in range(5):
+    for _column in range(_row + 1):
+        _INDEX[(_row, _column)] = _counter
+        _counter += 1
+
+#: The three collinear directions on a triangular grid.
+_DIRECTIONS = ((0, 1), (1, 0), (1, 1))
+
+
+def moves() -> List[Tuple[int, int, int]]:
+    """All 36 (from, over, to) jump lines, both directions."""
+    result = []
+    for (row, column), start in _INDEX.items():
+        for d_row, d_column in _DIRECTIONS:
+            over = (row + d_row, column + d_column)
+            to = (row + 2 * d_row, column + 2 * d_column)
+            if over in _INDEX and to in _INDEX:
+                result.append((start, _INDEX[over], _INDEX[to]))
+                result.append((_INDEX[to], _INDEX[over], start))
+    return result
+
+
+#: Initial board: all 15 pegs except the top hole.
+INITIAL_BOARD = (1 << 15) - 1 - 1  # hole at position 0
+INITIAL_PEGS = 14
+
+
+def source() -> str:
+    """Generate the FGHC program (one ``jump`` clause per move line)."""
+    lines = [
+        "% Tri: triangle peg solitaire --- count jump sequences down to",
+        "% Stop pegs.  Board is a 15-bit integer; 36 jump lines.",
+        "tri(B, P, Stop, N) :- P =< Stop | N = 1.",
+        "tri(B, P, Stop, N) :- P > Stop | expand(36, B, P, Stop, N).",
+        "",
+        "expand(0, B, P, Stop, N) :- N = 0.",
+        "expand(I, B, P, Stop, N) :- I > 0 |",
+        "    jump(I, B, P, Stop, N1),",
+        "    I1 := I - 1,",
+        "    expand(I1, B, P, Stop, N2),",
+        "    N := N1 + N2.",
+        "",
+    ]
+    for number, (origin, over, target) in enumerate(moves(), start=1):
+        from_bit = 1 << origin
+        over_bit = 1 << over
+        to_bit = 1 << target
+        lines.append(
+            f"jump({number}, B, P, Stop, N) :- "
+            f"(B / {from_bit}) mod 2 =:= 1, "
+            f"(B / {over_bit}) mod 2 =:= 1, "
+            f"(B / {to_bit}) mod 2 =:= 0 |"
+        )
+        lines.append(
+            f"    B1 := B - {from_bit} - {over_bit} + {to_bit}, "
+            f"P1 := P - 1, tri(B1, P1, Stop, N)."
+        )
+    lines.append("jump(I, B, P, Stop, N) :- otherwise | N = 0.")
+    lines.append("")
+    lines.append("main(Stop, N) :- tri(%d, %d, Stop, N)." % (INITIAL_BOARD, INITIAL_PEGS))
+    return "\n".join(lines)
+
+
+def reference(stop: int) -> int:
+    """Python oracle: the number of jump sequences reaching *stop* pegs."""
+    move_table = moves()
+
+    def count(board: int, pegs: int) -> int:
+        if pegs <= stop:
+            return 1
+        total = 0
+        for origin, over, target in move_table:
+            from_bit = 1 << origin
+            over_bit = 1 << over
+            to_bit = 1 << target
+            if board & from_bit and board & over_bit and not board & to_bit:
+                total += count(board - from_bit - over_bit + to_bit, pegs - 1)
+        return total
+
+    return count(INITIAL_BOARD, INITIAL_PEGS)
+
+
+#: scale -> Stop (pegs remaining when the search is cut off).
+SCALE_STOPS: Dict[str, int] = {"tiny": 12, "small": 10, "medium": 9, "paper": 8}
+
+
+def benchmark():
+    from repro.programs import Benchmark
+
+    return Benchmark(
+        name="tri",
+        source=source(),
+        queries={
+            scale: f"main({stop}, N)" for scale, stop in SCALE_STOPS.items()
+        },
+        answer_var="N",
+        expected={
+            scale: reference(stop) for scale, stop in SCALE_STOPS.items()
+        },
+    )

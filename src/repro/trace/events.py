@@ -1,0 +1,108 @@
+"""Memory reference events.
+
+The paper's architecture issues nine memory operations (Section 3.2):
+
+* ``R`` / ``W`` — ordinary read and write.
+* ``LR`` / ``UW`` / ``U`` — lock-and-read, write-and-unlock, unlock
+  (Section 3.1, the separate lock directory).
+* ``DW`` — direct write: write-allocate without fetching from shared
+  memory, legal only for freshly allocated storage.
+* ``ER`` — exclusive read: read that invalidates the supplier on a
+  cache-to-cache transfer and purges the local copy after the last word
+  of a block.
+* ``RP`` — read purge: read then forcibly purge the local block.
+* ``RI`` — read invalidate: read serviced with a fetch-and-invalidate so
+  a rewrite shortly after needs no invalidate bus command.
+
+References target one of five storage areas (Section 2.2): instruction,
+heap, goal, suspension, and communication.  Addresses are word addresses
+in a single flat space; each area owns a 2\\ :sup:`28`-word region so the
+area of an address can be recovered with a shift.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Op(enum.IntEnum):
+    """Memory operation kinds issued by a processing element."""
+
+    R = 0
+    W = 1
+    LR = 2
+    UW = 3
+    U = 4
+    DW = 5
+    ER = 6
+    RP = 7
+    RI = 8
+
+
+class Area(enum.IntEnum):
+    """The five storage areas of the KL1 architecture (Section 2.2)."""
+
+    INSTRUCTION = 0
+    HEAP = 1
+    GOAL = 2
+    SUSPENSION = 3
+    COMMUNICATION = 4
+
+
+#: Number of address bits reserved per storage area.
+AREA_SHIFT = 28
+
+#: Word-address base of each area.
+AREA_BASE = {area: area.value << AREA_SHIFT for area in Area}
+
+#: Human-readable operation names, indexed by ``Op`` value.
+OP_NAMES = tuple(op.name for op in Op)
+
+#: Human-readable area names, indexed by ``Area`` value.
+AREA_NAMES = tuple(area.name.lower() for area in Area)
+
+#: Areas holding data (everything except the instruction area).
+DATA_AREAS = (Area.HEAP, Area.GOAL, Area.SUSPENSION, Area.COMMUNICATION)
+
+#: Operations that read data into the processor.
+READ_LIKE_OPS = frozenset({Op.R, Op.LR, Op.ER, Op.RP, Op.RI})
+
+#: Operations that deposit data into memory.
+WRITE_LIKE_OPS = frozenset({Op.W, Op.UW, Op.DW})
+
+#: Operations that interact with the lock directory.
+LOCK_OPS = frozenset({Op.LR, Op.UW, Op.U})
+
+#: Flag bit set on an ``LR`` that suffered a lock conflict (drew an ``LH``
+#: response and busy-waited) and on the matching ``UW``/``U`` that found a
+#: waiter (``LWAIT``) and therefore broadcast ``UL``.
+FLAG_LOCK_CONTENDED = 1
+
+
+def area_of_address(address: int) -> Area:
+    """Return the storage area owning a flat word *address*."""
+    return Area(address >> AREA_SHIFT)
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """One memory reference: who, what, where.
+
+    ``flags`` carries execution-time annotations that a pure trace replay
+    could not otherwise reconstruct (currently only
+    :data:`FLAG_LOCK_CONTENDED`).
+    """
+
+    pe: int
+    op: Op
+    area: Area
+    address: int
+    flags: int = 0
+
+    def __str__(self) -> str:
+        tag = " contended" if self.flags & FLAG_LOCK_CONTENDED else ""
+        return (
+            f"PE{self.pe} {self.op.name:<2} "
+            f"{self.area.name.lower()}[{self.address:#x}]{tag}"
+        )

@@ -1,0 +1,71 @@
+"""Trace file round-trip.
+
+The format is deliberately simple: a small ASCII header (magic, version,
+PE count, reference count) followed by the five raw columns, each
+prefixed with its typecode.  Arrays are written in machine byte order;
+the header records the byte order so a mismatch is detected on read.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from pathlib import Path
+from typing import Union
+
+from repro.trace.buffer import TraceBuffer
+
+MAGIC = b"PIMTRACE"
+VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed or from a foreign byte order."""
+
+
+def write_trace(buffer: TraceBuffer, path: Union[str, Path]) -> None:
+    """Serialize *buffer* to *path*."""
+    path = Path(path)
+    columns = buffer.columns()
+    with path.open("wb") as fh:
+        header = (
+            f"{VERSION} {sys.byteorder} {buffer.n_pes} {len(buffer)}\n".encode("ascii")
+        )
+        fh.write(MAGIC + b"\n" + header)
+        for column in columns:
+            fh.write(column.typecode.encode("ascii"))
+            fh.write(b"\n")
+            column.tofile(fh)
+
+
+def read_trace(path: Union[str, Path]) -> TraceBuffer:
+    """Deserialize a trace previously written by :func:`write_trace`."""
+    path = Path(path)
+    with path.open("rb") as fh:
+        magic = fh.readline().rstrip(b"\n")
+        if magic != MAGIC:
+            raise TraceFormatError(f"{path}: not a PIM trace file")
+        header = fh.readline().decode("ascii").split()
+        if len(header) != 4:
+            raise TraceFormatError(f"{path}: malformed header {header!r}")
+        version, byteorder, n_pes, n_refs = header
+        if int(version) != VERSION:
+            raise TraceFormatError(f"{path}: unsupported version {version}")
+        if byteorder != sys.byteorder:
+            raise TraceFormatError(
+                f"{path}: trace written on a {byteorder}-endian machine; "
+                f"this machine is {sys.byteorder}-endian"
+            )
+        buffer = TraceBuffer(n_pes=int(n_pes))
+        count = int(n_refs)
+        for column in buffer.columns():
+            typecode = fh.readline().rstrip(b"\n").decode("ascii")
+            if typecode != column.typecode:
+                raise TraceFormatError(
+                    f"{path}: column typecode {typecode!r}, expected "
+                    f"{column.typecode!r}"
+                )
+            fresh = array(column.typecode)
+            fresh.fromfile(fh, count)
+            column.extend(fresh)
+        return buffer

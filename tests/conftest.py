@@ -1,0 +1,49 @@
+"""Shared fixtures.
+
+Heavy objects (benchmark runs) are session-scoped: the tiny-scale
+workload cache is shared by every analysis test, mirroring how the
+experiment harness itself amortizes emulation runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.runner import Workloads
+from repro.core.config import MachineConfig, SimulationConfig
+from repro.core.system import PIMCacheSystem
+from repro.machine.machine import KL1Machine
+
+
+@pytest.fixture
+def system():
+    """A 4-PE cache system with data tracking, base geometry."""
+    return PIMCacheSystem(SimulationConfig(track_data=True), 4)
+
+
+@pytest.fixture
+def small_system():
+    """A tiny 2-set cache so eviction paths are easy to reach."""
+    from repro.core.config import CacheConfig
+
+    config = SimulationConfig(
+        cache=CacheConfig(block_words=4, n_sets=2, associativity=2),
+        track_data=True,
+    )
+    return PIMCacheSystem(config, 4)
+
+
+@pytest.fixture(scope="session")
+def tiny_workloads():
+    """Session-scoped tiny-scale benchmark runs for the analysis tests."""
+    return Workloads(scale="tiny")
+
+
+def make_machine(source: str, n_pes: int = 2, **config_kwargs) -> KL1Machine:
+    """Convenience constructor used across machine tests."""
+    return KL1Machine(source, MachineConfig(n_pes=n_pes, seed=1, **config_kwargs))
+
+
+@pytest.fixture
+def machine_factory():
+    return make_machine

@@ -1,0 +1,114 @@
+"""CLI tests (in-process, via repro.cli.main)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_run_benchmark(capsys):
+    assert main(["run", "pascal", "--scale", "tiny", "--pes", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "answer verified" in out
+    assert "'Sum': 2048" in out
+    assert "bus cycles" in out
+
+
+def test_run_benchmark_unoptimized_protocol_options(capsys):
+    assert main([
+        "run", "pascal", "--scale", "tiny", "--pes", "2",
+        "--no-opt", "--protocol", "illinois", "--block-words", "8",
+        "--capacity", "2048",
+    ]) == 0
+    assert "miss ratio" in capsys.readouterr().out
+
+
+def test_run_source_file(tmp_path, capsys):
+    source = tmp_path / "double.fghc"
+    source.write_text("double(X, Y) :- Y := X * 2.\n")
+    assert main(["run", str(source), "--query", "double(21, Y)", "--pes", "2"]) == 0
+    assert "'Y': 42" in capsys.readouterr().out
+
+
+def test_run_source_file_requires_query(tmp_path, capsys):
+    source = tmp_path / "p.fghc"
+    source.write_text("p(1).\n")
+    assert main(["run", str(source)]) == 2
+    assert "--query" in capsys.readouterr().err
+
+
+def test_run_unknown_program(capsys):
+    assert main(["run", "nonexistent"]) == 2
+    assert "neither a benchmark" in capsys.readouterr().err
+
+
+def test_run_with_gc(capsys):
+    assert main([
+        "run", "puzzle", "--scale", "tiny", "--pes", "2", "--gc", "500",
+    ]) == 0
+    assert "collections:" in capsys.readouterr().out
+
+
+def test_trace_record_and_replay(tmp_path, capsys):
+    trace_file = tmp_path / "t.trace"
+    assert main([
+        "trace", "record", "pascal", "--scale", "tiny", "--pes", "2",
+        "-o", str(trace_file),
+    ]) == 0
+    assert trace_file.exists()
+    assert main(["trace", "replay", str(trace_file), "--ways", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "replayed" in out
+    assert "miss ratio" in out
+
+
+def test_run_writes_trace(tmp_path, capsys):
+    trace_file = tmp_path / "run.trace"
+    assert main([
+        "run", "pascal", "--scale", "tiny", "--pes", "2",
+        "-o", str(trace_file),
+    ]) == 0
+    assert trace_file.exists()
+
+
+def test_tables_subset(capsys):
+    assert main(["tables", "--scale", "tiny", "--which", "4,5"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 4" in out
+    assert "Table 5" in out
+    assert "Table 1" not in out
+
+
+def test_tables_rejects_unknown(capsys):
+    assert main(["tables", "--which", "9"]) == 2
+
+
+def test_figures_subset(capsys):
+    assert main(["figures", "--scale", "tiny", "--which", "width"]) == 0
+    assert "Two-word Bus" in capsys.readouterr().out
+
+
+def test_figures_rejects_unknown(capsys):
+    assert main(["figures", "--which", "bogus"]) == 2
+
+
+def test_listing_benchmark(capsys):
+    assert main(["listing", "tri"]) == 0
+    out = capsys.readouterr().out
+    assert "jump/5" in out
+    assert "guard_cmp" in out
+
+
+def test_listing_file(tmp_path, capsys):
+    source = tmp_path / "p.fghc"
+    source.write_text("p(0).\n")
+    assert main(["listing", str(source)]) == 0
+    assert "p/1" in capsys.readouterr().out
+
+
+def test_listing_missing(capsys):
+    assert main(["listing", "missing.fghc"]) == 2
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,91 @@
+"""Unit tests for the set-associative cache array."""
+
+from repro.core.cache import Cache
+from repro.core.config import CacheConfig
+from repro.core.states import CacheState
+
+
+def make_cache(block_words=4, n_sets=4, associativity=2):
+    return Cache(
+        CacheConfig(
+            block_words=block_words, n_sets=n_sets, associativity=associativity
+        ),
+        pe=0,
+    )
+
+
+def test_miss_then_hit():
+    cache = make_cache()
+    assert cache.lookup(10) is None
+    cache.insert(10, CacheState.EC, 1)
+    line = cache.lookup(10)
+    assert line is not None
+    assert line.state == CacheState.EC
+    assert line.area == 1
+
+
+def test_blocks_map_to_distinct_sets():
+    cache = make_cache(n_sets=4)
+    for block in range(4):
+        cache.insert(block, CacheState.S, 0)
+    assert all(cache.lookup(block) for block in range(4))
+    assert cache.occupancy() == 4
+
+
+def test_lru_eviction_within_set():
+    cache = make_cache(n_sets=4, associativity=2)
+    # Blocks 0, 4, 8 all map to set 0.
+    cache.insert(0, CacheState.S, 0)
+    cache.insert(4, CacheState.S, 0)
+    cache.lookup(0)  # touch block 0 so block 4 is LRU
+    victim = cache.insert(8, CacheState.S, 0)
+    assert victim is not None
+    victim_block, victim_line = victim
+    assert victim_block == 4
+    assert cache.lookup(0) is not None
+    assert cache.lookup(4) is None
+    assert cache.lookup(8) is not None
+
+
+def test_insert_same_block_replaces_without_eviction():
+    cache = make_cache(associativity=1)
+    cache.insert(0, CacheState.S, 0)
+    victim = cache.insert(0, CacheState.EM, 0)
+    assert victim is None
+    assert cache.lookup(0).state == CacheState.EM
+
+
+def test_remove():
+    cache = make_cache()
+    cache.insert(3, CacheState.EM, 2)
+    removed = cache.remove(3)
+    assert removed is not None
+    assert removed.state == CacheState.EM
+    assert cache.lookup(3) is None
+    assert cache.remove(3) is None
+
+
+def test_peek_does_not_touch_lru():
+    cache = make_cache(n_sets=4, associativity=2)
+    cache.insert(0, CacheState.S, 0)
+    cache.insert(4, CacheState.S, 0)
+    cache.peek(0)  # must NOT protect block 0
+    victim = cache.insert(8, CacheState.S, 0)
+    assert victim[0] == 0
+
+
+def test_lines_iteration_and_flush():
+    cache = make_cache()
+    cache.insert(1, CacheState.S, 0)
+    cache.insert(9, CacheState.EM, 1)
+    blocks = {block for block, _ in cache.lines()}
+    assert blocks == {1, 9}
+    cache.flush()
+    assert cache.occupancy() == 0
+
+
+def test_full_cache_occupancy_bounded():
+    cache = make_cache(n_sets=2, associativity=2)
+    for block in range(32):
+        cache.insert(block, CacheState.S, 0)
+    assert cache.occupancy() == 4  # n_sets * associativity

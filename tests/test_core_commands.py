@@ -1,0 +1,234 @@
+"""Tests for the optimized memory commands DW / ER / RP / RI (Section 3.2).
+
+Each command's case analysis from the paper is exercised explicitly,
+including the demotion rules ("the cache controller automatically
+replaces DW with W", etc.) and the effect of the optimization flags.
+"""
+
+from repro.core.config import (
+    CacheConfig,
+    OptimizationConfig,
+    SimulationConfig,
+)
+from repro.core.states import BusPattern, CacheState
+from repro.core.system import PIMCacheSystem
+from repro.trace.events import AREA_BASE, Area, Op
+
+HEAP = AREA_BASE[Area.HEAP]
+GOAL = AREA_BASE[Area.GOAL]
+COMM = AREA_BASE[Area.COMMUNICATION]
+
+
+def make_system(n_pes=4, opts=None, **cache_kwargs):
+    cache = CacheConfig(**cache_kwargs) if cache_kwargs else CacheConfig()
+    return PIMCacheSystem(
+        SimulationConfig(
+            cache=cache,
+            opts=opts if opts is not None else OptimizationConfig.all(),
+            track_data=True,
+        ),
+        n_pes,
+    )
+
+
+class TestDirectWrite:
+    def test_boundary_miss_allocates_without_fetch(self):
+        """DW case (i): block boundary + miss -> allocate, zero bus."""
+        system = make_system()
+        cycles, _, _ = system.access(0, Op.DW, Area.HEAP, HEAP, value=5)
+        assert cycles == 1
+        assert system.stats.bus_cycles_total == 0
+        assert system.stats.dw_allocations == 1
+        assert system.stats.swap_ins == 0
+        assert system.line_state(0, HEAP) == CacheState.EM
+        _, _, value = system.access(0, Op.R, Area.HEAP, HEAP)
+        assert value == 5
+
+    def test_non_boundary_is_replaced_with_w(self):
+        """DW case (ii): mid-block address -> W (here a write miss)."""
+        system = make_system()
+        cycles, _, _ = system.access(0, Op.DW, Area.HEAP, HEAP + 1, value=5)
+        assert cycles == 13  # ordinary fetch-on-write
+        assert system.stats.dw_demotions == 1
+        assert system.stats.dw_allocations == 0
+
+    def test_sequential_allocation_only_pays_on_boundaries(self):
+        """A fresh 8-word structure costs zero bus cycles: two boundary
+        allocations, six write hits."""
+        system = make_system()
+        for offset in range(8):
+            system.access(0, Op.DW, Area.HEAP, HEAP + offset, value=offset)
+        assert system.stats.bus_cycles_total == 0
+        assert system.stats.dw_allocations == 2
+        assert system.stats.dw_demotions == 6  # all of them write hits
+
+    def test_remote_copy_forces_demotion(self):
+        """The no-remote-copy precondition is verified, not assumed."""
+        system = make_system()
+        system.access(1, Op.R, Area.HEAP, HEAP)  # remote copy exists
+        cycles, _, _ = system.access(0, Op.DW, Area.HEAP, HEAP, value=9)
+        assert system.stats.dw_allocations == 0
+        assert system.stats.dw_demotions == 1
+        assert system.line_state(1, HEAP) == CacheState.INV  # FI invalidated
+        system.check_invariants()
+
+    def test_dirty_victim_costs_swap_out_only(self):
+        """The 5-cycle swap-out-only pattern appears only in DW."""
+        system = make_system(n_pes=1, n_sets=2, associativity=1)
+        system.access(0, Op.W, Area.HEAP, HEAP, value=1)  # dirty
+        cycles, _, _ = system.access(0, Op.DW, Area.HEAP, HEAP + 8, value=2)
+        assert cycles == 5
+        assert system.stats.pattern_counts[BusPattern.SWAP_OUT_ONLY] == 1
+        assert system.memory[HEAP] == 1
+
+    def test_demoted_when_optimization_disabled(self):
+        system = make_system(opts=OptimizationConfig.none())
+        cycles, _, _ = system.access(0, Op.DW, Area.HEAP, HEAP, value=5)
+        assert cycles == 13
+        assert system.stats.dw_allocations == 0
+        # Table 3 still sees the DW the software issued.
+        assert system.stats.refs[Area.HEAP][Op.DW] == 1
+
+    def test_goal_area_dw_controlled_by_goal_flag(self):
+        system = make_system(opts=OptimizationConfig.heap_only())
+        cycles, _, _ = system.access(0, Op.DW, Area.GOAL, GOAL, value=1)
+        assert cycles == 13  # goal commands off -> plain W
+        system2 = make_system(opts=OptimizationConfig.goal_only())
+        cycles, _, _ = system2.access(0, Op.DW, Area.GOAL, GOAL, value=1)
+        assert cycles == 1
+
+
+class TestExclusiveRead:
+    def test_miss_with_remote_supplier_invalidates_supplier(self):
+        """ER case (i): cache-to-cache transfer, supplier invalidated."""
+        system = make_system()
+        system.access(1, Op.W, Area.GOAL, GOAL, value=8)
+        cycles, _, value = system.access(0, Op.ER, Area.GOAL, GOAL)
+        assert cycles == 7  # c2c, no copyback
+        assert value == 8
+        assert system.line_state(1, GOAL) == CacheState.INV
+        assert system.line_state(0, GOAL) == CacheState.EM  # sole, dirty
+        assert system.stats.supplier_invalidations == 1
+        system.check_invariants()
+
+    def test_hit_on_last_word_purges_own_copy(self):
+        """ER case (ii): hit + last word of block -> read-purge."""
+        system = make_system()
+        system.access(0, Op.W, Area.GOAL, GOAL + 3, value=6)  # dirty block
+        cycles, _, value = system.access(0, Op.ER, Area.GOAL, GOAL + 3)
+        assert value == 6
+        assert system.line_state(0, GOAL) == CacheState.INV
+        assert system.stats.purges_dirty == 1
+        assert system.stats.swap_outs == 0  # that is the point
+
+    def test_hit_mid_block_is_plain_read(self):
+        system = make_system()
+        system.access(0, Op.W, Area.GOAL, GOAL, value=6)
+        system.access(0, Op.ER, Area.GOAL, GOAL + 1)
+        assert system.line_state(0, GOAL) == CacheState.EM  # still resident
+
+    def test_miss_no_remote_falls_back_to_read(self):
+        """ER case (iii)."""
+        system = make_system()
+        cycles, _, _ = system.access(0, Op.ER, Area.GOAL, GOAL)
+        assert cycles == 13
+        assert system.stats.er_demotions == 1
+        assert system.line_state(0, GOAL) == CacheState.EC
+
+    def test_whole_record_read_leaves_nothing_behind(self):
+        """Writer creates an 8-word record with DW; reader consumes it
+        with ER: afterwards neither cache holds it and memory was never
+        involved."""
+        system = make_system()
+        for offset in range(8):
+            system.access(1, Op.DW, Area.GOAL, GOAL + offset, value=offset)
+        for offset in range(8):
+            _, _, value = system.access(0, Op.ER, Area.GOAL, GOAL + offset)
+            assert value == offset
+        assert system.line_state(0, GOAL) == CacheState.INV
+        assert system.line_state(0, GOAL + 4) == CacheState.INV
+        assert system.line_state(1, GOAL) == CacheState.INV
+        assert system.stats.swap_ins == 0
+        assert system.stats.swap_outs == 0
+        system.check_invariants()
+
+    def test_demoted_when_disabled(self):
+        system = make_system(opts=OptimizationConfig.none())
+        system.access(1, Op.W, Area.GOAL, GOAL, value=8)
+        system.access(0, Op.ER, Area.GOAL, GOAL)
+        # Plain read: supplier keeps its copy (as SM owner).
+        assert system.line_state(1, GOAL) == CacheState.SM
+
+
+class TestReadPurge:
+    def test_hit_purges(self):
+        system = make_system()
+        system.access(0, Op.W, Area.GOAL, GOAL + 1, value=3)
+        cycles, _, value = system.access(0, Op.RP, Area.GOAL, GOAL + 1)
+        assert cycles == 1
+        assert value == 3
+        assert system.line_state(0, GOAL) == CacheState.INV
+        assert system.stats.purges_dirty == 1
+
+    def test_miss_with_remote_reads_through_and_invalidates(self):
+        """RP case (ii): no allocation at the reader either."""
+        system = make_system()
+        system.access(1, Op.W, Area.GOAL, GOAL, value=4)
+        cycles, _, value = system.access(0, Op.RP, Area.GOAL, GOAL)
+        assert cycles == 7
+        assert value == 4
+        assert system.line_state(0, GOAL) == CacheState.INV
+        assert system.line_state(1, GOAL) == CacheState.INV
+        assert system.stats.supplier_invalidations == 1
+        system.check_invariants()
+
+    def test_miss_no_remote_reads_through_memory(self):
+        system = make_system()
+        system.access(0, Op.W, Area.GOAL, GOAL, value=2)
+        system.flush_all()
+        cycles, _, value = system.access(0, Op.RP, Area.GOAL, GOAL)
+        assert value == 2
+        assert cycles == 13
+        assert system.line_state(0, GOAL) == CacheState.INV
+
+
+class TestReadInvalidate:
+    def test_miss_fetches_exclusive(self):
+        """RI fetches with FI so the rewrite needs no I command."""
+        system = make_system()
+        system.access(1, Op.W, Area.COMMUNICATION, COMM, value=9)
+        system.access(0, Op.RI, Area.COMMUNICATION, COMM)
+        assert system.line_state(0, COMM) == CacheState.EM
+        assert system.line_state(1, COMM) == CacheState.INV
+        invalidations_before = system.stats.pattern_counts[
+            BusPattern.INVALIDATION
+        ]
+        # The rewrite is now a silent exclusive hit.
+        cycles, _, _ = system.access(0, Op.W, Area.COMMUNICATION, COMM, value=0)
+        assert cycles == 1
+        assert (
+            system.stats.pattern_counts[BusPattern.INVALIDATION]
+            == invalidations_before
+        )
+
+    def test_plain_read_would_have_paid_the_invalidate(self):
+        """The counterfactual: with RI demoted, the rewrite costs an I."""
+        system = make_system(opts=OptimizationConfig.none())
+        system.access(1, Op.W, Area.COMMUNICATION, COMM, value=9)
+        system.access(0, Op.RI, Area.COMMUNICATION, COMM)  # demoted to R
+        before = system.stats.pattern_counts[BusPattern.INVALIDATION]
+        system.access(0, Op.W, Area.COMMUNICATION, COMM, value=0)
+        assert (
+            system.stats.pattern_counts[BusPattern.INVALIDATION] == before + 1
+        )
+
+    def test_hit_behaves_as_read(self):
+        system = make_system()
+        system.access(0, Op.R, Area.COMMUNICATION, COMM)
+        cycles, _, _ = system.access(0, Op.RI, Area.COMMUNICATION, COMM)
+        assert cycles == 1
+
+    def test_counts_exclusive_fetches(self):
+        system = make_system()
+        system.access(0, Op.RI, Area.COMMUNICATION, COMM)
+        assert system.stats.ri_exclusive_fetches == 1

@@ -1,0 +1,146 @@
+"""Unit tests for configuration dataclasses and the bus cost model."""
+
+import pytest
+
+from repro.core.config import (
+    BusConfig,
+    CacheConfig,
+    MachineConfig,
+    OptimizationConfig,
+    SimulationConfig,
+    TABLE4_COLUMNS,
+)
+from repro.core.states import BusPattern
+from repro.trace.events import Area, Op
+
+
+class TestCacheConfig:
+    def test_base_model_is_the_papers(self):
+        config = CacheConfig()
+        assert config.block_words == 4
+        assert config.n_sets == 256
+        assert config.associativity == 4
+        assert config.capacity_words == 4096
+
+    def test_directory_bits_match_papers_example(self):
+        # Section 4.4: "a four-Kword cache is 190000 bits".
+        assert CacheConfig().total_bits == 189440
+
+    def test_from_capacity(self):
+        config = CacheConfig.from_capacity(8192)
+        assert config.capacity_words == 8192
+        assert config.block_words == 4
+        assert config.n_sets == 512
+
+    def test_from_capacity_too_small(self):
+        with pytest.raises(ValueError):
+            CacheConfig.from_capacity(8, block_words=4, associativity=4)
+
+    @pytest.mark.parametrize("bad", [0, 3, -4])
+    def test_rejects_non_power_of_two_blocks(self, bad):
+        with pytest.raises(ValueError):
+            CacheConfig(block_words=bad)
+
+    def test_rejects_bad_associativity(self):
+        with pytest.raises(ValueError):
+            CacheConfig(associativity=0)
+
+    def test_n_lines(self):
+        assert CacheConfig().n_lines == 1024
+
+
+class TestBusConfig:
+    def test_paper_pattern_costs(self):
+        """Section 4.2's six bus access patterns: 13/13/10/7/5/2 (plus
+        the ablation-only write-through pattern at 2)."""
+        bus = BusConfig()
+        costs = [bus.pattern_cycles(p, 4) for p in BusPattern]
+        assert costs == [13, 13, 10, 7, 5, 2, 2]
+
+    def test_two_word_bus_shrinks_transfers(self):
+        bus = BusConfig(width_words=2)
+        assert bus.transfer_cycles(4) == 2
+        assert bus.pattern_cycles(BusPattern.SWAP_IN, 4) == 11
+        assert bus.pattern_cycles(BusPattern.C2C, 4) == 5
+        assert bus.pattern_cycles(BusPattern.INVALIDATION, 4) == 2
+
+    def test_memory_time_affects_only_swap_in(self):
+        fast = BusConfig(memory_access_cycles=4)
+        assert fast.pattern_cycles(BusPattern.SWAP_IN, 4) == 9
+        assert fast.pattern_cycles(BusPattern.C2C, 4) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BusConfig(width_words=0)
+        with pytest.raises(ValueError):
+            BusConfig(memory_access_cycles=0)
+
+
+class TestOptimizationConfig:
+    def test_presets_match_table4_columns(self):
+        labels = [label for label, _ in TABLE4_COLUMNS]
+        assert labels == ["None", "Heap", "Goal", "Comm", "All"]
+
+    def test_none_honours_nothing_optimized(self):
+        opts = OptimizationConfig.none()
+        assert not opts.honours(Op.DW, Area.HEAP)
+        assert not opts.honours(Op.ER, Area.GOAL)
+        assert not opts.honours(Op.RI, Area.COMMUNICATION)
+        # Ordinary operations are always honoured.
+        assert opts.honours(Op.R, Area.HEAP)
+        assert opts.honours(Op.LR, Area.HEAP)
+
+    def test_heap_only(self):
+        opts = OptimizationConfig.heap_only()
+        assert opts.honours(Op.DW, Area.HEAP)
+        assert not opts.honours(Op.DW, Area.GOAL)
+        assert not opts.honours(Op.ER, Area.GOAL)
+
+    def test_goal_only(self):
+        opts = OptimizationConfig.goal_only()
+        assert opts.honours(Op.DW, Area.GOAL)
+        assert opts.honours(Op.ER, Area.GOAL)
+        assert opts.honours(Op.RP, Area.GOAL)
+        assert not opts.honours(Op.DW, Area.HEAP)
+
+    def test_comm_only(self):
+        opts = OptimizationConfig.comm_only()
+        assert opts.honours(Op.RI, Area.COMMUNICATION)
+        assert not opts.honours(Op.RI, Area.HEAP)
+
+    def test_optimized_ops_never_honoured_in_foreign_areas(self):
+        opts = OptimizationConfig.all()
+        assert not opts.honours(Op.DW, Area.SUSPENSION)
+        assert not opts.honours(Op.ER, Area.HEAP)
+        assert not opts.honours(Op.RP, Area.COMMUNICATION)
+
+
+class TestSimulationConfig:
+    def test_protocol_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(protocol="mesi")
+
+    def test_with_helpers_return_copies(self):
+        base = SimulationConfig()
+        other = base.with_opts(OptimizationConfig.none())
+        assert other is not base
+        assert other.cache == base.cache
+        resized = base.with_cache(CacheConfig.from_capacity(512))
+        assert resized.cache.capacity_words == 512
+
+    def test_is_hashable_for_memoization(self):
+        assert hash(SimulationConfig()) == hash(SimulationConfig())
+
+
+class TestMachineConfig:
+    def test_max_goal_args(self):
+        assert MachineConfig().max_goal_args == 5
+        assert MachineConfig(goal_record_words=12).max_goal_args == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(n_pes=0)
+        with pytest.raises(ValueError):
+            MachineConfig(goal_record_words=2)
+        with pytest.raises(ValueError):
+            MachineConfig(suspension_record_words=2)

@@ -1,0 +1,155 @@
+"""Property-based tests of the cache protocol (hypothesis).
+
+Two oracles run against random operation streams:
+
+* **coherence invariants** — exclusive copies are sole copies, at most
+  one dirty copy per block, presence map consistent, all copies agree
+  (checked by ``PIMCacheSystem.check_invariants``);
+* **value correctness** — every read observes the most recent write to
+  its address, tracked by a flat shadow memory.
+
+Streams include the optimized commands; DW's software contract is the
+one deliberately *violated* case (the controller must demote, not
+corrupt).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import CacheConfig, OptimizationConfig, SimulationConfig
+from repro.core.replay import replay
+from repro.core.system import BLOCKED, PIMCacheSystem
+from repro.trace.events import AREA_BASE, Area, Op
+from repro.trace.synthetic import generate_random_trace
+
+HEAP = AREA_BASE[Area.HEAP]
+
+_PLAIN_OPS = (Op.R, Op.W, Op.DW, Op.ER, Op.RP, Op.RI)
+
+_step = st.tuples(
+    st.integers(0, 3),  # pe
+    st.sampled_from(_PLAIN_OPS),
+    st.integers(0, 95),  # offset within a 96-word pool (24 blocks)
+    st.integers(0, 255),  # value
+)
+
+
+def _tiny_system(protocol="pim"):
+    return PIMCacheSystem(
+        SimulationConfig(
+            cache=CacheConfig(block_words=4, n_sets=2, associativity=2),
+            protocol=protocol,
+            track_data=True,
+        ),
+        4,
+    )
+
+
+class ShadowMemory:
+    """Oracle: last value written per address (initially 0)."""
+
+    def __init__(self):
+        self.values = {}
+
+    def write(self, address, value):
+        self.values[address] = value
+
+    def read(self, address):
+        return self.values.get(address, 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_step, min_size=1, max_size=300))
+def test_reads_always_observe_last_write(steps):
+    system = _tiny_system()
+    shadow = ShadowMemory()
+    for pe, op, offset, value in steps:
+        address = HEAP + offset
+        cycles, _, observed = system.access(pe, op, Area.HEAP, address, value)
+        assert cycles != BLOCKED
+        if op in (Op.W, Op.DW):
+            shadow.write(address, value)
+        else:
+            assert observed == shadow.read(address), (
+                f"PE{pe} {Op(op).name} at {address:#x} saw {observed}, "
+                f"expected {shadow.read(address)}"
+            )
+    system.check_invariants()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_step, min_size=1, max_size=300), st.sampled_from(["pim", "illinois"]))
+def test_invariants_hold_under_random_streams(steps, protocol):
+    system = _tiny_system(protocol)
+    for pe, op, offset, value in steps:
+        system.access(pe, op, Area.HEAP, HEAP + offset, value)
+    system.check_invariants()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(_step, min_size=1, max_size=200))
+def test_final_flush_reconciles_memory_with_shadow(steps):
+    """After writing everything back, memory equals the shadow oracle."""
+    system = _tiny_system()
+    shadow = ShadowMemory()
+    touched = set()
+    for pe, op, offset, value in steps:
+        address = HEAP + offset
+        system.access(pe, op, Area.HEAP, address, value)
+        if op in (Op.W, Op.DW):
+            shadow.write(address, value)
+        touched.add(address)
+    system.flush_all()
+    for address in touched:
+        expected = shadow.read(address)
+        if expected != 0:
+            assert system.memory.get(address, 0) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_random_traces_replay_cleanly_under_all_configs(seed):
+    """Replays of lock-consistent random traces never block and keep
+    coherent final state, whatever the optimization flags."""
+    trace = generate_random_trace(400, n_pes=4, seed=seed)
+    for opts in (OptimizationConfig.all(), OptimizationConfig.none()):
+        config = SimulationConfig(
+            cache=CacheConfig(block_words=4, n_sets=4, associativity=2),
+            opts=opts,
+            track_data=True,
+        )
+        system = PIMCacheSystem(config, 4)
+        for pe, op, area, addr, flags in trace:
+            cycles, _, _ = system.access(pe, op, area, addr, 0, flags)
+            assert cycles != BLOCKED
+        system.check_invariants()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_direct_write_never_increases_traffic(seed):
+    """DW is unconditionally safe: honouring it can only remove bus work
+    (an allocation-without-fetch replaces a 13-cycle fetch-on-write).
+
+    The same is deliberately NOT asserted for ER/RP: purging is only
+    profitable under the write-once/read-once software contract, and
+    random streams violate it — the paper's own caveat that exclusive
+    read "must be used carefully".
+    """
+    trace = generate_random_trace(600, n_pes=4, seed=seed)
+    heap_on = replay(trace, SimulationConfig(opts=OptimizationConfig.heap_only()))
+    all_off = replay(trace, SimulationConfig(opts=OptimizationConfig.none()))
+    assert heap_on.bus_cycles_total <= all_off.bus_cycles_total
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(_step, min_size=1, max_size=200))
+def test_stats_are_internally_consistent(steps):
+    system = _tiny_system()
+    for pe, op, offset, value in steps:
+        system.access(pe, op, Area.HEAP, HEAP + offset, value)
+    stats = system.stats
+    assert stats.total_refs == len(steps)
+    assert stats.total_hits <= stats.total_refs
+    assert 0.0 <= stats.miss_ratio <= 1.0
+    assert stats.bus_cycles_total == sum(stats.pattern_cycles)
+    assert sum(stats.bus_cycles_by_area) == stats.bus_cycles_total

@@ -1,0 +1,213 @@
+"""State-transition tests for the five-state PIM protocol (Section 3.1).
+
+These drive :class:`PIMCacheSystem` directly with R/W sequences and
+check the resulting block states, bus patterns and data values.
+"""
+
+import pytest
+
+from repro.core.config import CacheConfig, SimulationConfig
+from repro.core.states import BusPattern, CacheState
+from repro.core.system import PIMCacheSystem
+from repro.trace.events import AREA_BASE, Area, Op
+
+HEAP = AREA_BASE[Area.HEAP]
+
+
+def make_system(n_pes=4, protocol="pim", **cache_kwargs):
+    cache = CacheConfig(**cache_kwargs) if cache_kwargs else CacheConfig()
+    return PIMCacheSystem(
+        SimulationConfig(cache=cache, protocol=protocol, track_data=True), n_pes
+    )
+
+
+class TestReads:
+    def test_cold_read_fetches_from_memory_exclusive_clean(self):
+        system = make_system()
+        cycles, _, value = system.access(0, Op.R, Area.HEAP, HEAP)
+        assert cycles == 13  # swap-in
+        assert value == 0
+        assert system.line_state(0, HEAP) == CacheState.EC
+        assert system.stats.swap_ins == 1
+
+    def test_read_hit_costs_one_cycle_no_bus(self):
+        system = make_system()
+        system.access(0, Op.R, Area.HEAP, HEAP)
+        before = system.stats.bus_cycles_total
+        cycles, _, _ = system.access(0, Op.R, Area.HEAP, HEAP + 1)
+        assert cycles == 1
+        assert system.stats.bus_cycles_total == before
+
+    def test_read_miss_served_cache_to_cache_without_copyback(self):
+        system = make_system()
+        system.access(0, Op.W, Area.HEAP, HEAP, value=7)  # PE0: EM
+        busy_before = system.stats.memory_busy_cycles
+        cycles, _, value = system.access(1, Op.R, Area.HEAP, HEAP)
+        assert cycles == 7  # cache-to-cache, no swap-out
+        assert value == 7
+        # PIM keeps the dirty data out of memory: the supplier owns it in SM.
+        assert system.line_state(0, HEAP) == CacheState.SM
+        assert system.line_state(1, HEAP) == CacheState.S
+        assert system.stats.memory_busy_cycles == busy_before
+        assert system.memory.get(HEAP, 0) == 0  # memory still stale
+
+    def test_clean_supplier_transitions_ec_to_s(self):
+        system = make_system()
+        system.access(0, Op.R, Area.HEAP, HEAP)  # EC
+        system.access(1, Op.R, Area.HEAP, HEAP)
+        assert system.line_state(0, HEAP) == CacheState.S
+        assert system.line_state(1, HEAP) == CacheState.S
+
+    def test_third_reader_is_served_by_owner(self):
+        system = make_system()
+        system.access(0, Op.W, Area.HEAP, HEAP, value=9)
+        system.access(1, Op.R, Area.HEAP, HEAP)
+        cycles, _, value = system.access(2, Op.R, Area.HEAP, HEAP)
+        assert value == 9
+        assert system.line_state(0, HEAP) == CacheState.SM  # still the owner
+        assert system.line_state(2, HEAP) == CacheState.S
+        system.check_invariants()
+
+
+class TestWrites:
+    def test_write_miss_uses_fetch_on_write(self):
+        system = make_system()
+        cycles, _, _ = system.access(0, Op.W, Area.HEAP, HEAP, value=5)
+        assert cycles == 13  # the block is fetched (fetch-on-write)
+        assert system.line_state(0, HEAP) == CacheState.EM
+        assert system.stats.swap_ins == 1
+
+    def test_write_hit_exclusive_is_silent(self):
+        system = make_system()
+        system.access(0, Op.R, Area.HEAP, HEAP)  # EC
+        before = system.stats.bus_cycles_total
+        cycles, _, _ = system.access(0, Op.W, Area.HEAP, HEAP, value=1)
+        assert cycles == 1
+        assert system.stats.bus_cycles_total == before
+        assert system.line_state(0, HEAP) == CacheState.EM
+
+    def test_write_hit_shared_broadcasts_invalidate(self):
+        system = make_system()
+        system.access(0, Op.R, Area.HEAP, HEAP)
+        system.access(1, Op.R, Area.HEAP, HEAP)  # both S
+        cycles, _, _ = system.access(0, Op.W, Area.HEAP, HEAP, value=3)
+        assert cycles == 2  # invalidation pattern
+        assert system.line_state(0, HEAP) == CacheState.EM
+        assert system.line_state(1, HEAP) == CacheState.INV
+        system.check_invariants()
+
+    def test_write_hit_sm_broadcasts_even_without_actual_sharers(self):
+        """SM means *perhaps* shared — the I goes out regardless."""
+        system = make_system(n_pes=2, n_sets=2, associativity=1)
+        system.access(0, Op.W, Area.HEAP, HEAP, value=1)
+        system.access(1, Op.R, Area.HEAP, HEAP)  # PE0 SM, PE1 S
+        # PE1 evicts its copy by touching two conflicting blocks.
+        conflict = HEAP + 4 * 2  # same set (2 sets, 4-word blocks)
+        system.access(1, Op.R, Area.HEAP, conflict)
+        assert system.line_state(1, HEAP) == CacheState.INV
+        before = system.stats.pattern_counts[BusPattern.INVALIDATION]
+        system.access(0, Op.W, Area.HEAP, HEAP, value=2)
+        assert system.stats.pattern_counts[BusPattern.INVALIDATION] == before + 1
+
+    def test_write_miss_invalidates_all_copies(self):
+        system = make_system()
+        system.access(0, Op.R, Area.HEAP, HEAP)
+        system.access(1, Op.R, Area.HEAP, HEAP)
+        system.access(2, Op.W, Area.HEAP, HEAP, value=4)
+        assert system.line_state(0, HEAP) == CacheState.INV
+        assert system.line_state(1, HEAP) == CacheState.INV
+        assert system.line_state(2, HEAP) == CacheState.EM
+        system.check_invariants()
+
+    def test_read_after_remote_write_sees_value(self):
+        system = make_system()
+        system.access(0, Op.W, Area.HEAP, HEAP + 2, value=42)
+        _, _, value = system.access(3, Op.R, Area.HEAP, HEAP + 2)
+        assert value == 42
+
+
+class TestEviction:
+    def test_dirty_eviction_writes_back(self):
+        system = make_system(n_pes=1, n_sets=2, associativity=1)
+        system.access(0, Op.W, Area.HEAP, HEAP, value=77)  # EM
+        # Conflicting block in the same set forces eviction.
+        system.access(0, Op.R, Area.HEAP, HEAP + 8)
+        assert system.stats.swap_outs == 1
+        assert system.memory[HEAP] == 77
+        # Re-read must see the written value from memory.
+        _, _, value = system.access(0, Op.R, Area.HEAP, HEAP)
+        assert value == 77
+
+    def test_clean_eviction_is_free(self):
+        system = make_system(n_pes=1, n_sets=2, associativity=1)
+        system.access(0, Op.R, Area.HEAP, HEAP)
+        system.access(0, Op.R, Area.HEAP, HEAP + 8)
+        assert system.stats.swap_outs == 0
+
+    def test_swap_out_rides_the_fetch_pattern(self):
+        system = make_system(n_pes=1, n_sets=2, associativity=1)
+        system.access(0, Op.W, Area.HEAP, HEAP, value=1)
+        system.access(0, Op.R, Area.HEAP, HEAP + 8)
+        assert (
+            system.stats.pattern_counts[BusPattern.SWAP_IN_WITH_SWAP_OUT] == 1
+        )
+
+
+class TestIllinoisProtocol:
+    def test_dirty_transfer_copies_back_to_memory(self):
+        system = make_system(protocol="illinois")
+        system.access(0, Op.W, Area.HEAP, HEAP, value=11)
+        system.access(1, Op.R, Area.HEAP, HEAP)
+        # Illinois: the transfer updates memory; everyone is clean S.
+        assert system.line_state(0, HEAP) == CacheState.S
+        assert system.line_state(1, HEAP) == CacheState.S
+        assert system.memory[HEAP] == 11
+        assert system.stats.swap_outs == 1
+
+    def test_pim_beats_illinois_on_memory_busy(self):
+        results = {}
+        for protocol in ("pim", "illinois"):
+            system = make_system(protocol=protocol)
+            for i in range(20):
+                writer, reader = i % 4, (i + 1) % 4
+                system.access(writer, Op.W, Area.HEAP, HEAP + 4 * i, value=i)
+                system.access(reader, Op.R, Area.HEAP, HEAP + 4 * i)
+            results[protocol] = system.stats.memory_busy_cycles
+        assert results["pim"] < results["illinois"]
+
+
+class TestInvariantsAndTiming:
+    def test_invariant_checker_catches_corruption(self):
+        system = make_system()
+        system.access(0, Op.R, Area.HEAP, HEAP)
+        system.access(1, Op.R, Area.HEAP, HEAP)
+        # Corrupt: force both into exclusive state behind the protocol's back.
+        system.caches[0].peek(HEAP // 4).state = CacheState.EM
+        with pytest.raises(AssertionError):
+            system.check_invariants()
+
+    def test_pe_clocks_advance_and_bus_serializes(self):
+        system = make_system()
+        system.access(0, Op.R, Area.HEAP, HEAP)
+        system.access(1, Op.R, Area.HEAP, HEAP + 64)
+        assert system.stats.pe_cycles[0] > 0
+        assert system.stats.pe_cycles[1] > system.stats.pe_cycles[0]  # waited for bus
+
+    def test_flush_all_writes_dirty_blocks(self):
+        system = make_system()
+        system.access(0, Op.W, Area.HEAP, HEAP, value=5)
+        written = system.flush_all()
+        assert written == 1
+        assert system.memory[HEAP] == 5
+        assert system.line_state(0, HEAP) == CacheState.INV
+
+    def test_unknown_op_rejected(self):
+        system = make_system()
+        with pytest.raises(ValueError):
+            system.access(0, 99, Area.HEAP, HEAP)
+
+    def test_bus_attribution_by_area(self):
+        system = make_system()
+        system.access(0, Op.R, Area.GOAL, AREA_BASE[Area.GOAL])
+        assert system.stats.bus_cycles_by_area[Area.GOAL] == 13
+        assert system.stats.bus_cycles_by_area[Area.HEAP] == 0

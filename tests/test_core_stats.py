@@ -1,0 +1,90 @@
+"""Unit tests for SystemStats derivations."""
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.stats import SystemStats
+from repro.core.system import PIMCacheSystem
+from repro.trace.events import AREA_BASE, Area, Op
+
+HEAP = AREA_BASE[Area.HEAP]
+GOAL = AREA_BASE[Area.GOAL]
+INSTR = AREA_BASE[Area.INSTRUCTION]
+
+
+def test_empty_stats_are_all_zero():
+    stats = SystemStats(4)
+    assert stats.total_refs == 0
+    assert stats.miss_ratio == 0.0
+    assert stats.bus_cycles_total == 0
+    assert stats.lr_hit_ratio == 0.0
+    assert stats.unlock_no_waiter_ratio == 0.0
+    assert stats.total_cycles == 0
+
+
+def test_ref_matrix_counts_software_ops():
+    system = PIMCacheSystem(SimulationConfig(), 2)
+    system.access(0, Op.DW, Area.HEAP, HEAP)
+    system.access(0, Op.R, Area.INSTRUCTION, INSTR)
+    system.access(1, Op.ER, Area.GOAL, GOAL)
+    stats = system.stats
+    assert stats.refs[Area.HEAP][Op.DW] == 1
+    assert stats.refs[Area.INSTRUCTION][Op.R] == 1
+    assert stats.refs[Area.GOAL][Op.ER] == 1
+    assert stats.total_refs == 3
+    assert stats.data_refs() == 2
+
+
+def test_area_percentages_sum_to_100():
+    system = PIMCacheSystem(SimulationConfig(), 2)
+    for i in range(10):
+        system.access(0, Op.R, Area.HEAP, HEAP + i)
+        system.access(0, Op.R, Area.INSTRUCTION, INSTR + i)
+    percentages = system.stats.area_ref_percentages()
+    assert sum(percentages) == pytest.approx(100.0)
+    assert percentages[Area.HEAP] == pytest.approx(50.0)
+
+
+def test_op_percentages_group_optimized_commands():
+    system = PIMCacheSystem(SimulationConfig(), 2)
+    system.access(0, Op.R, Area.HEAP, HEAP)
+    system.access(0, Op.ER, Area.GOAL, GOAL)
+    system.access(0, Op.DW, Area.HEAP, HEAP + 4)
+    system.access(0, Op.W, Area.HEAP, HEAP + 8)
+    mix = system.stats.op_ref_percentages()
+    assert mix["R"] == pytest.approx(50.0)  # R + ER
+    assert mix["W"] == pytest.approx(50.0)  # W + DW
+    assert mix["LR"] == 0.0
+
+
+def test_heap_op_percentages_scoped_to_heap():
+    system = PIMCacheSystem(SimulationConfig(), 2)
+    system.access(0, Op.W, Area.HEAP, HEAP)
+    system.access(0, Op.R, Area.GOAL, GOAL)
+    heap_mix = system.stats.heap_op_percentages()
+    assert heap_mix["W"] == pytest.approx(100.0)
+
+
+def test_miss_ratio_by_area():
+    system = PIMCacheSystem(SimulationConfig(), 1)
+    system.access(0, Op.R, Area.HEAP, HEAP)  # miss
+    system.access(0, Op.R, Area.HEAP, HEAP + 1)  # hit
+    stats = system.stats
+    assert stats.miss_ratio_area(Area.HEAP) == pytest.approx(0.5)
+    assert stats.miss_ratio == pytest.approx(0.5)
+
+
+def test_as_dict_round_trips_counts():
+    system = PIMCacheSystem(SimulationConfig(), 2)
+    system.access(0, Op.W, Area.HEAP, HEAP)
+    system.access(1, Op.R, Area.HEAP, HEAP)
+    snapshot = system.stats.as_dict()
+    assert snapshot["total_refs"] == 2
+    assert snapshot["refs"]["heap"]["W"] == 1
+    assert snapshot["pattern_counts"]["c2c"] == 1
+    assert snapshot["n_pes"] == 2
+
+
+def test_repr_is_informative():
+    stats = SystemStats(8)
+    assert "n_pes=8" in repr(stats)

@@ -1,0 +1,156 @@
+"""The Section 3 write-policy ablation baselines.
+
+The paper *argues* for (a) copy-back over write-through — logic
+programs' high write ratio makes write-through traffic prohibitive
+(Tick, [19]) — and (b) invalidation over broadcast update — KL1's
+single-assignment data is shared by ~two goals, so updating sharers is
+wasted work.  These tests pin the baselines' mechanics; the benchmark
+harness asserts the traffic comparisons on real workloads.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import OptimizationConfig, SimulationConfig
+from repro.core.states import BusPattern, CacheState
+from repro.core.system import PIMCacheSystem
+from repro.trace.events import AREA_BASE, Area, Op
+
+HEAP = AREA_BASE[Area.HEAP]
+
+
+def make_system(protocol, n_pes=4):
+    return PIMCacheSystem(
+        SimulationConfig(
+            protocol=protocol,
+            opts=OptimizationConfig.none(),
+            track_data=True,
+        ),
+        n_pes,
+    )
+
+
+class TestWriteThrough:
+    def test_every_write_uses_the_bus(self):
+        system = make_system("write_through")
+        system.access(0, Op.R, Area.HEAP, HEAP)
+        for offset in range(4):
+            system.access(0, Op.W, Area.HEAP, HEAP + offset, value=offset)
+        assert system.stats.pattern_counts[BusPattern.WRITE_THROUGH] == 4
+        # Each write also occupies the memory modules.
+        assert system.stats.memory_busy_cycles >= 4 * 8
+
+    def test_write_miss_does_not_allocate(self):
+        system = make_system("write_through")
+        system.access(0, Op.W, Area.HEAP, HEAP, value=1)
+        assert system.line_state(0, HEAP) == CacheState.INV
+        assert system.memory[HEAP] == 1
+
+    def test_write_invalidates_sharers(self):
+        system = make_system("write_through")
+        system.access(0, Op.R, Area.HEAP, HEAP)
+        system.access(1, Op.R, Area.HEAP, HEAP)
+        system.access(0, Op.W, Area.HEAP, HEAP, value=5)
+        assert system.line_state(1, HEAP) == CacheState.INV
+        assert system.line_state(0, HEAP) == CacheState.EC
+        _, _, value = system.access(1, Op.R, Area.HEAP, HEAP)
+        assert value == 5
+        system.check_invariants()
+
+    def test_blocks_never_need_swap_out(self):
+        system = make_system("write_through", n_pes=1)
+        for offset in range(0, 64, 4):
+            system.access(0, Op.R, Area.HEAP, HEAP + offset)
+            system.access(0, Op.W, Area.HEAP, HEAP + offset, value=offset)
+        assert system.stats.swap_outs == 0
+
+
+class TestWriteUpdate:
+    def test_write_patches_remote_copies_in_place(self):
+        system = make_system("write_update")
+        system.access(0, Op.R, Area.HEAP, HEAP)
+        system.access(1, Op.R, Area.HEAP, HEAP)
+        system.access(0, Op.W, Area.HEAP, HEAP, value=9)
+        # The sharer keeps a (now updated) copy: its next read is a hit.
+        bus_before = system.stats.bus_cycles_total
+        cycles, _, value = system.access(1, Op.R, Area.HEAP, HEAP)
+        assert cycles == 1
+        assert value == 9
+        assert system.stats.bus_cycles_total == bus_before
+        system.check_invariants()
+
+    def test_memory_always_current(self):
+        system = make_system("write_update")
+        system.access(2, Op.W, Area.HEAP, HEAP + 7, value=3)
+        assert system.memory[HEAP + 7] == 3
+
+    def test_update_pays_even_without_sharers(self):
+        """The broadcast write costs the bus whether or not anyone
+        listens — the waste the paper's invalidation choice avoids when
+        sharing is low."""
+        system = make_system("write_update", n_pes=1)
+        system.access(0, Op.R, Area.HEAP, HEAP)
+        before = system.stats.bus_cycles_total
+        system.access(0, Op.W, Area.HEAP, HEAP, value=1)
+        assert system.stats.bus_cycles_total > before
+
+
+class TestAgainstCopyback:
+    @staticmethod
+    def _burst(protocol, op, rewrites=0):
+        opts = OptimizationConfig.all() if op == Op.DW else OptimizationConfig.none()
+        system = PIMCacheSystem(
+            SimulationConfig(protocol=protocol, opts=opts, track_data=True), 2
+        )
+        for offset in range(256):
+            system.access(0, op, Area.HEAP, HEAP + offset, value=offset)
+        for _ in range(rewrites):
+            for offset in range(256):
+                system.access(0, Op.W, Area.HEAP, HEAP + offset, value=offset)
+        return system.stats.bus_cycles_total
+
+    def test_fresh_write_bursts_motivate_direct_write(self):
+        """On pure fresh-structure creation, plain copy-back *loses* to
+        write-through (fetch-on-write fetches garbage) — exactly the
+        paper's motivation for DW — and copy-back + DW beats both."""
+        copyback_plain = self._burst("pim", Op.W)
+        write_through = self._burst("write_through", Op.W)
+        copyback_dw = self._burst("pim", Op.DW)
+        assert write_through < copyback_plain  # the DW-shaped hole
+        assert copyback_dw < write_through  # DW closes it decisively
+        assert copyback_dw == 0  # fresh allocation is bus-free
+
+    def test_copyback_wins_once_data_is_rewritten(self):
+        """With any rewrite locality, copy-back absorbs the writes in
+        cache while write-through pays the bus per word — Tick's
+        argument for copy-back under logic programming's write ratio."""
+        copyback = self._burst("pim", Op.W, rewrites=3)
+        through = self._burst("write_through", Op.W, rewrites=3)
+        assert copyback < through
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 2),
+                st.sampled_from([Op.R, Op.W]),
+                st.integers(0, 63),
+                st.integers(0, 99),
+            ),
+            min_size=1,
+            max_size=150,
+        )
+    )
+    def test_all_policies_preserve_values(self, steps):
+        """Value correctness is policy-independent."""
+        shadows = {}
+        for protocol in ("pim", "illinois", "write_through", "write_update"):
+            system = make_system(protocol, n_pes=3)
+            shadow = {}
+            for pe, op, offset, value in steps:
+                address = HEAP + offset
+                _, _, observed = system.access(pe, op, Area.HEAP, address, value)
+                if op == Op.W:
+                    shadow[address] = value
+                else:
+                    assert observed == shadow.get(address, 0), protocol
+            system.check_invariants()

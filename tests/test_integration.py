@@ -1,0 +1,100 @@
+"""Cross-layer integration tests: machine -> trace -> file -> replay,
+example scripts, and end-to-end consistency properties."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import (
+    CacheConfig,
+    MachineConfig,
+    OptimizationConfig,
+    SimulationConfig,
+)
+from repro.core.replay import replay
+from repro.machine.machine import KL1Machine
+from repro.trace.io import read_trace, write_trace
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+PIPELINE = """
+stage(0, In, Out) :- Out = In.
+stage(N, In, Out) :- N > 0 |
+    bump(In, Mid),
+    N1 := N - 1,
+    stage(N1, Mid, Out).
+bump([], Out) :- Out = [].
+bump([X|Xs], Out) :- X1 := X + 1, Out = [X1|O2], bump(Xs, O2).
+gen(0, L) :- L = [].
+gen(N, L) :- N > 0 | L = [N|T], N1 := N - 1, gen(N1, T).
+total([], A, R) :- R = A.
+total([X|Xs], A, R) :- A1 := A + X, total(Xs, A1, R).
+main(R) :- gen(20, L), stage(10, L, Out), total(Out, 0, R).
+"""
+
+
+def test_full_pipeline_roundtrip(tmp_path):
+    """Execute -> capture -> serialize -> load -> replay must reproduce
+    the execution-driven statistics bit-for-bit."""
+    machine = KL1Machine(PIPELINE, MachineConfig(n_pes=4, seed=2))
+    result = machine.run("main(R)")
+    assert result.answer["R"] == sum(range(1, 21)) + 20 * 10
+
+    path = tmp_path / "pipeline.trace"
+    write_trace(result.trace, path)
+    loaded = read_trace(path)
+    replayed = replay(loaded, SimulationConfig())
+    live = result.stats
+    assert replayed.bus_cycles_total == live.bus_cycles_total
+    assert replayed.refs == live.refs
+    assert replayed.hits == live.hits
+    assert replayed.pattern_cycles == live.pattern_cycles
+
+
+def test_same_trace_many_geometries_monotone_capacity(tmp_path):
+    machine = KL1Machine(PIPELINE, MachineConfig(n_pes=4, seed=2))
+    result = machine.run("main(R)")
+    previous = None
+    for capacity in (256, 1024, 4096):
+        stats = replay(
+            result.trace,
+            SimulationConfig(cache=CacheConfig.from_capacity(capacity)),
+        )
+        if previous is not None:
+            assert stats.miss_ratio <= previous + 1e-9
+        previous = stats.miss_ratio
+
+
+def test_optimizations_help_a_real_program():
+    machine = KL1Machine(PIPELINE, MachineConfig(n_pes=4, seed=2))
+    result = machine.run("main(R)")
+    on = replay(result.trace, SimulationConfig(opts=OptimizationConfig.all()))
+    off = replay(result.trace, SimulationConfig(opts=OptimizationConfig.none()))
+    assert on.bus_cycles_total < off.bus_cycles_total
+
+
+def test_per_pe_cycle_accounting_is_complete():
+    machine = KL1Machine(PIPELINE, MachineConfig(n_pes=4, seed=2))
+    result = machine.run("main(R)")
+    stats = result.stats
+    assert all(cycles > 0 for cycles in stats.pe_cycles)
+    # Elapsed time at least covers the serialized bus.
+    assert stats.total_cycles >= stats.bus_cycles_total
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "custom_program.py", "load_balancing_study.py",
+     "protocol_comparison.py"],
+)
+def test_examples_run(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip()

@@ -1,0 +1,69 @@
+"""The cache layer must be semantically transparent.
+
+Whatever the cache geometry, protocol, or optimization flags — and even
+with no cache attached at all — the abstract machine must compute the
+same answers with the same reductions and the same reference stream.
+Only the *cost* statistics may differ.
+"""
+
+import pytest
+
+from repro.core.config import (
+    CacheConfig,
+    MachineConfig,
+    OptimizationConfig,
+    SimulationConfig,
+)
+from repro.machine.machine import KL1Machine
+
+PROGRAM = """
+fib(N, R) :- N < 2 | R = N.
+fib(N, R) :- N >= 2 |
+    N1 := N - 1, N2 := N - 2,
+    fib(N1, A), fib(N2, B), R := A + B.
+main(R) :- fib(13, R).
+"""
+
+CONFIGS = {
+    "base": SimulationConfig(),
+    "no-opt": SimulationConfig(opts=OptimizationConfig.none()),
+    "tiny-cache": SimulationConfig(
+        cache=CacheConfig(block_words=4, n_sets=2, associativity=1)
+    ),
+    "wide-blocks": SimulationConfig(
+        cache=CacheConfig(block_words=16, n_sets=64, associativity=4)
+    ),
+    "illinois": SimulationConfig(protocol="illinois"),
+    "write-through": SimulationConfig(protocol="write_through"),
+    "write-update": SimulationConfig(protocol="write_update"),
+    "tracked": SimulationConfig(track_data=True),
+    "uncached": None,
+}
+
+
+def run_with(sim_config):
+    machine = KL1Machine(PROGRAM, MachineConfig(n_pes=4, seed=5), sim_config)
+    return machine.run("main(R)")
+
+
+@pytest.fixture(scope="module")
+def reference_run():
+    return run_with(SimulationConfig())
+
+
+@pytest.mark.parametrize("label", list(CONFIGS))
+def test_semantics_are_cache_independent(label, reference_run):
+    result = run_with(CONFIGS[label])
+    assert result.answer["R"] == 233
+    assert result.reductions == reference_run.reductions, label
+    assert result.suspensions == reference_run.suspensions, label
+    assert result.memory_refs == reference_run.memory_refs, label
+    # The reference *stream* is identical, reference by reference.
+    assert list(result.trace) == list(reference_run.trace), label
+
+
+def test_costs_do_differ():
+    """Sanity check that the configs above are not accidentally equal."""
+    base = run_with(SimulationConfig())
+    tiny = run_with(CONFIGS["tiny-cache"])
+    assert tiny.stats.bus_cycles_total > base.stats.bus_cycles_total

@@ -1,0 +1,132 @@
+"""Classic committed-choice programs as machine integration tests.
+
+These exercise combinations the paper benchmarks do not: indeterminate
+stream merge, accumulator quicksort, AND-parallel search with pruning
+guards, and deep producer/consumer chains, across several PE counts.
+"""
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.machine.machine import KL1Machine
+
+QUEENS = """
+% Count the placements of N non-attacking queens, one per row.
+queens(N, Count) :- place(N, N, [], Count).
+
+% place(Row, N, Cols, Count): queens remaining, board size, columns so far.
+place(0, N, Cols, Count) :- Count = 1.
+place(R, N, Cols, Count) :- R > 0 | tryc(N, R, N, Cols, Count).
+
+% Try each column C = N..1 for this row.
+tryc(0, R, N, Cols, Count) :- Count = 0.
+tryc(C, R, N, Cols, Count) :- C > 0 |
+    safe(Cols, C, 1, Ok),
+    branch(Ok, C, R, N, Cols, Count).
+
+branch(yes, C, R, N, Cols, Count) :-
+    R1 := R - 1,
+    place(R1, N, [C|Cols], C1),
+    C2 := C - 1,
+    tryc(C2, R, N, Cols, C3),
+    Count := C1 + C3.
+branch(no, C, R, N, Cols, Count) :-
+    C2 := C - 1,
+    tryc(C2, R, N, Cols, Count).
+
+safe([], C, D, Ok) :- Ok = yes.
+safe([Col|Cols], C, D, Ok) :- Col =:= C | Ok = no.
+safe([Col|Cols], C, D, Ok) :- Col - C =:= D | Ok = no.
+safe([Col|Cols], C, D, Ok) :- C - Col =:= D | Ok = no.
+safe([Col|Cols], C, D, Ok) :-
+    Col =\\= C, Col - C =\\= D, C - Col =\\= D |
+    D1 := D + 1,
+    safe(Cols, C, D1, Ok).
+
+main(N, Count) :- queens(N, Count).
+"""
+
+QSORT = """
+qsort([], S) :- S = [].
+qsort([P|Xs], S) :- part(P, Xs, Lo, Hi), qsort(Lo, SL), qsort(Hi, SH),
+    app(SL, [P|SH2], S), SH2 = SH.
+
+part(P, [], Lo, Hi) :- Lo = [], Hi = [].
+part(P, [X|Xs], Lo, Hi) :- X < P | Lo = [X|L2], part(P, Xs, L2, Hi).
+part(P, [X|Xs], Lo, Hi) :- X >= P | Hi = [X|H2], part(P, Xs, Lo, H2).
+
+app([], Ys, Z) :- Z = Ys.
+app([X|Xs], Ys, Z) :- Z = [X|Z2], app(Xs, Ys, Z2).
+
+gen(0, Seed, L) :- L = [].
+gen(N, Seed, L) :- N > 0 |
+    S2 := (Seed * 109 + 89) mod 1024,
+    L = [S2|T],
+    N1 := N - 1,
+    gen(N1, S2, T).
+
+main(N, S) :- gen(N, 7, L), qsort(L, S).
+"""
+
+MERGE = """
+% Indeterminate two-way stream merge.
+merge([X|Xs], Ys, Z) :- Z = [X|Z2], merge(Xs, Ys, Z2).
+merge(Xs, [Y|Ys], Z) :- Z = [Y|Z2], merge(Xs, Ys, Z2).
+merge([], Ys, Z) :- Z = Ys.
+merge(Xs, [], Z) :- Z = Xs.
+
+gen(I, 0, S) :- S = [].
+gen(I, N, S) :- N > 0 | S = [I|T], N1 := N - 1, gen(I, N1, T).
+
+count([], A, R) :- R = A.
+count([X|Xs], A, R) :- A1 := A + X, count(Xs, A1, R).
+
+main(R) :- gen(1, 50, A), gen(2, 70, B), merge(A, B, M), count(M, 0, R).
+"""
+
+
+@pytest.mark.parametrize("n_pes", [1, 4])
+def test_queens_counts(n_pes):
+    # branch/6 needs wider goal records than the 8-word default.
+    machine = KL1Machine(
+        QUEENS, MachineConfig(n_pes=n_pes, seed=1, goal_record_words=12)
+    )
+    result = machine.run("main(5, Count)")
+    assert result.answer["Count"] == 10
+
+
+def test_queens_six():
+    machine = KL1Machine(
+        QUEENS, MachineConfig(n_pes=8, seed=1, goal_record_words=12)
+    )
+    assert machine.run("main(6, Count)").answer["Count"] == 4
+
+
+@pytest.mark.parametrize("n_pes", [1, 4])
+def test_qsort_sorts(n_pes):
+    machine = KL1Machine(QSORT, MachineConfig(n_pes=n_pes, seed=1))
+    result = machine.run("main(60, S)")
+    values = result.answer["S"]
+    assert len(values) == 60
+    assert values == sorted(values)
+
+
+def test_indeterminate_merge_preserves_multiset():
+    machine = KL1Machine(MERGE, MachineConfig(n_pes=4, seed=1))
+    result = machine.run("main(R)")
+    assert result.answer["R"] == 50 * 1 + 70 * 2
+
+
+def test_merge_with_one_empty_stream():
+    machine = KL1Machine(MERGE, MachineConfig(n_pes=2, seed=1))
+    source_result = machine.run("gen(3, 4, S)")
+    assert source_result.answer["S"] == [3, 3, 3, 3]
+
+
+def test_queens_parallelizes():
+    machine = KL1Machine(
+        QUEENS, MachineConfig(n_pes=8, seed=1, goal_record_words=12)
+    )
+    result = machine.run("main(6, Count)")
+    busy = sum(1 for count in result.pe_reductions if count > 50)
+    assert busy >= 6  # the search tree spreads across the machine

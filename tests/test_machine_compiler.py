@@ -1,0 +1,151 @@
+"""Clause compiler tests."""
+
+import pytest
+
+from repro.machine.compiler import compile_program
+from repro.machine.errors import CompileError
+from repro.machine.store import INSTR_BASE
+from repro.machine.terms import INT
+
+
+def compile_one(source):
+    program = compile_program(source)
+    procedures = list(program.procedures.values())
+    assert len(procedures) >= 1
+    return program, procedures[0].clauses[0]
+
+
+def ops(instrs):
+    return [i.op for i in instrs]
+
+
+class TestHeadCompilation:
+    def test_constants_become_waits(self):
+        _, clause = compile_one("p(1, foo).")
+        assert ops(clause.passive) == ["wait_const", "wait_const", "commit"]
+        assert clause.passive[0].b == (INT, 1)
+
+    def test_first_and_repeat_variables(self):
+        _, clause = compile_one("p(X, X).")
+        assert ops(clause.passive) == ["head_var", "head_val", "commit"]
+
+    def test_anonymous_variable_matches_anything(self):
+        _, clause = compile_one("p(_, _).")
+        assert ops(clause.passive) == ["commit"]
+
+    def test_list_pattern(self):
+        _, clause = compile_one("p([X|Xs]).")
+        assert ops(clause.passive) == [
+            "wait_list", "read_var", "read_var", "commit",
+        ]
+
+    def test_nested_structure_breadth_first(self):
+        _, clause = compile_one("p([a, b]).")
+        # [a, b] = cons(a, cons(b, [])): outer reads a then a temp for the
+        # tail, then matches the tail.
+        assert ops(clause.passive) == [
+            "wait_list", "read_const", "read_var",
+            "wait_list", "read_const", "read_const",
+            "commit",
+        ]
+
+    def test_struct_head(self):
+        program, clause = compile_one("p(f(X, 1)).")
+        assert clause.passive[0].op == "wait_struct"
+        assert clause.passive[0].c == 2
+
+    def test_arity_limit_enforced(self):
+        with pytest.raises(CompileError):
+            compile_program("p(A, B, C, D, E, F).")
+
+
+class TestGuardCompilation:
+    def test_comparison(self):
+        _, clause = compile_one("p(X) :- X > 3 | q.")
+        guard = clause.passive[-2]
+        assert guard.op == "guard_cmp"
+        assert guard.a == ">"
+        assert guard.b == ("reg", 1)
+        assert guard.c == ("int", 3)
+
+    def test_expression_guard(self):
+        _, clause = compile_one("p(X) :- X mod 2 =:= 0 | q.")
+        guard = clause.passive[-2]
+        assert guard.b == ("mod", ("reg", 1), ("int", 2))
+
+    def test_integer_and_wait_guards(self):
+        _, clause = compile_one("p(X) :- integer(X), wait(X) | q.")
+        assert ops(clause.passive)[-3:-1] == ["guard_integer", "guard_wait"]
+
+    def test_otherwise_is_true(self):
+        _, clause = compile_one("p(X) :- otherwise | q.")
+        assert ops(clause.passive) == ["head_var", "commit"]
+
+    def test_unknown_guard_rejected(self):
+        with pytest.raises(CompileError):
+            compile_program("p(X) :- frobnicate(X) | q.")
+
+    def test_guard_variable_must_come_from_head(self):
+        with pytest.raises(CompileError):
+            compile_program("p(X) :- Y > 0 | q.")
+
+
+class TestBodyCompilation:
+    def test_first_occurrence_unification_is_an_alias(self):
+        _, clause = compile_one("p(X) :- Y = 1, q(Y).")
+        # No body_unify: Y aliases the register holding 1.
+        assert "body_unify" not in ops(clause.body)
+
+    def test_head_variable_unification_is_real(self):
+        _, clause = compile_one("p(X) :- X = 1.")
+        assert "body_unify" in ops(clause.body)
+
+    def test_assignment_flattens_to_builtin_goals(self):
+        program, clause = compile_one("p(X, Y) :- Y := X * 2 + 1.")
+        spawns = [i for i in clause.body if i.op == "spawn"]
+        names = [program.symbols.functor_name(s.a)[0] for s in spawns]
+        assert names == ["mul", "add"]
+
+    def test_spawn_arguments_built_before_spawn(self):
+        _, clause = compile_one("p(X) :- q([X]).")
+        body_ops = ops(clause.body)
+        assert body_ops.index("put_list") < body_ops.index("spawn")
+
+    def test_goal_record_arity_limit(self):
+        with pytest.raises(CompileError):
+            compile_program("p :- q(1, 2, 3, 4, 5, 6).")
+
+    def test_builtins_not_redefinable(self):
+        with pytest.raises(CompileError):
+            compile_program("add(A, B, C) :- C = 0.")
+
+
+class TestProgramLayout:
+    def test_code_addresses_are_disjoint_and_ordered(self):
+        program = compile_program("p(0).\np(N) :- N > 0 | p(0).")
+        clauses = list(program.procedures.values())[0].clauses
+        first, second = clauses
+        assert first.passive_base >= INSTR_BASE
+        assert first.body_base == first.passive_base + len(first.passive)
+        assert second.passive_base == first.body_base + len(first.body)
+
+    def test_builtin_stubs_reserved(self):
+        program = compile_program("p(0).")
+        assert len(program.builtin_stubs) == 5
+        assert min(program.builtin_stubs.values()) == INSTR_BASE
+
+    def test_source_lines_counted(self):
+        program = compile_program("% comment\np(0).\n\np(1).\n")
+        assert program.source_lines == 2
+
+    def test_listing_renders(self):
+        program = compile_program("p(X) :- X > 0 | p(0).")
+        listing = program.listing()
+        assert "p/1" in listing
+        assert "guard_cmp" in listing
+
+    def test_procedure_lookup(self):
+        program = compile_program("p(0).")
+        assert program.procedure("p", 1).arity == 1
+        with pytest.raises(KeyError):
+            program.procedure("missing", 2)

@@ -1,0 +1,180 @@
+"""Engine semantics tests driven through small FGHC programs."""
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.machine.errors import (
+    DeadlockError,
+    LimitExceededError,
+    ProgramFailure,
+    UnificationFailure,
+)
+from repro.machine.machine import KL1Machine
+
+
+def run(source, query, n_pes=2, **kwargs):
+    machine = KL1Machine(source, MachineConfig(n_pes=n_pes, seed=1))
+    return machine.run(query, **kwargs)
+
+
+class TestReduction:
+    def test_facts_and_matching(self):
+        result = run("color(red).\ncolor(blue).\nmain(X) :- color(blue), X = ok.", "main(X)")
+        assert result.answer["X"] == "ok"
+
+    def test_clause_selection_by_constant(self):
+        source = """
+        f(0, R) :- R = zero.
+        f(1, R) :- R = one.
+        f(N, R) :- N > 1 | R = many.
+        main(A, B, C) :- f(0, A), f(1, B), f(7, C).
+        """
+        result = run(source, "main(A, B, C)")
+        assert result.answer == {"A": "zero", "B": "one", "C": "many"}
+
+    def test_structure_decomposition(self):
+        source = """
+        area(rect(W, H), A) :- A := W * H.
+        area(square(S), A) :- A := S * S.
+        main(A, B) :- area(rect(3, 4), A), area(square(5), B).
+        """
+        result = run(source, "main(A, B)")
+        assert result.answer == {"A": 12, "B": 25}
+
+    def test_nonlinear_head(self):
+        source = """
+        same(X, X, R) :- R = yes.
+        same(X, Y, R) :- X =\\= Y | R = no.
+        main(A, B) :- same(3, 3, A), same(3, 4, B).
+        """
+        result = run(source, "main(A, B)")
+        assert result.answer == {"A": "yes", "B": "no"}
+
+    def test_deep_recursion_does_not_blow_stack(self):
+        source = """
+        count(0, R) :- R = done.
+        count(N, R) :- N > 0 | N1 := N - 1, count(N1, R).
+        main(R) :- count(3000, R).
+        """
+        assert run(source, "main(R)").answer["R"] == "done"
+
+    def test_long_list_unification_is_iterative(self):
+        source = """
+        gen(0, L) :- L = [].
+        gen(N, L) :- N > 0 | L = [N|T], N1 := N - 1, gen(N1, T).
+        main(R) :- gen(2000, A), gen(2000, B), A = B, R = same.
+        """
+        assert run(source, "main(R)").answer["R"] == "same"
+
+
+class TestSuspension:
+    def test_consumer_waits_for_producer(self):
+        source = """
+        consume([], R) :- R = 0.
+        consume([X|Xs], R) :- consume(Xs, R1), R := R1 + X.
+        produce(0, L) :- L = [].
+        produce(N, L) :- N > 0 | L = [N|T], N1 := N - 1, produce(N1, T).
+        main(R) :- consume(L, R), produce(10, L).
+        """
+        result = run(source, "main(R)")
+        assert result.answer["R"] == 55
+        assert result.suspensions > 0
+
+    def test_multiway_suspension_single_resume(self):
+        """A goal hooked to two variables runs once when either binds."""
+        source = """
+        pick(a, Y, R) :- R = first.
+        pick(X, b, R) :- R = second.
+        main(R) :- pick(X, Y, R), X = a, Y = b.
+        """
+        result = run(source, "main(R)")
+        assert result.answer["R"] in ("first", "second")
+
+    def test_guard_expression_suspends(self):
+        source = """
+        gate(X, R) :- X * 2 > 4 | R = big.
+        gate(X, R) :- X * 2 =< 4 | R = small.
+        main(R) :- gate(X, R), X = 5.
+        """
+        assert run(source, "main(R)").answer["R"] == "big"
+
+    def test_builtin_arithmetic_suspends_on_inputs(self):
+        source = "main(R) :- R := X + 1, X = 41."
+        assert run(source, "main(R)").answer["R"] == 42
+
+    def test_var_var_unification_links(self):
+        source = "main(A, B) :- A = B, B = 7."
+        result = run(source, "main(A, B)")
+        assert result.answer == {"A": 7, "B": 7}
+
+
+class TestFailures:
+    def test_all_clauses_fail_raises(self):
+        with pytest.raises(ProgramFailure):
+            run("f(1, R) :- R = one.", "f(2, R)")
+
+    def test_body_unification_failure(self):
+        with pytest.raises(UnificationFailure):
+            run("main :- X = 1, X = 2.", "main")
+
+    def test_deadlock_detected(self):
+        with pytest.raises(DeadlockError):
+            run("main(R) :- R := X + 1.", "main(R)")
+
+    def test_reduction_limit(self):
+        source = "loop :- loop.\nmain :- loop."
+        with pytest.raises(LimitExceededError):
+            run(source, "main", max_reductions=1000)
+
+    def test_undefined_procedure(self):
+        with pytest.raises(ProgramFailure):
+            run("main :- nonexistent(1).", "main")
+
+    def test_query_for_unknown_procedure(self):
+        with pytest.raises(ProgramFailure):
+            run("p(1).", "nope(X)")
+
+    def test_division_by_zero(self):
+        with pytest.raises(ProgramFailure):
+            run("main(R) :- R := 1 / 0.", "main(R)")
+
+
+class TestBuiltins:
+    def test_all_arithmetic_operations(self):
+        source = """
+        main(A, B, C, D, E) :-
+            A := 7 + 5, B := 7 - 5, C := 7 * 5, D := 7 / 5, E := 7 mod 5.
+        """
+        result = run(source, "main(A, B, C, D, E)")
+        assert result.answer == {"A": 12, "B": 2, "C": 35, "D": 1, "E": 2}
+
+    def test_negative_truncating_division(self):
+        """KL1 integer division truncates toward zero."""
+        source = "main(D, M) :- D := (0 - 7) / 2, M := (0 - 7) mod 2."
+        result = run(source, "main(D, M)")
+        assert result.answer["D"] == -3
+        assert result.answer["M"] == -1
+
+    def test_output_already_bound_checks(self):
+        source = "main(R) :- X := 2 + 2, X = 4, R = ok."
+        assert run(source, "main(R)").answer["R"] == "ok"
+
+    def test_arithmetic_on_atom_fails(self):
+        with pytest.raises(ProgramFailure):
+            run("main(R) :- R := foo + 1.", "main(R)")
+
+
+class TestDecoding:
+    def test_answer_forms(self):
+        source = "main(I, A, L, S) :- I = 42, A = hello, L = [1, [2], f(3)], S = pt(1, 2)."
+        result = run(source, "main(I, A, L, S)")
+        assert result.answer["I"] == 42
+        assert result.answer["A"] == "hello"
+        assert result.answer["L"] == [1, [2], ("f", 3)]
+        assert result.answer["S"] == ("pt", 1, 2)
+
+    def test_unbound_decodes_to_placeholder(self):
+        source = "main(R) :- R = [X, 1]."
+        answer = run(source, "main(R)").answer["R"]
+        assert answer[1] == 1
+        assert str(answer[0]).startswith("_G")

@@ -1,0 +1,172 @@
+"""Fine-grained engine semantics: dereference chains, nested structure
+matching, guard corner cases, and suspension record plumbing."""
+
+from repro.core.config import MachineConfig
+from repro.machine.machine import KL1Machine
+from repro.trace.events import Area, Op
+
+
+def run(source, query, n_pes=1):
+    machine = KL1Machine(source, MachineConfig(n_pes=n_pes, seed=1))
+    return machine, machine.run(query)
+
+
+class TestDereference:
+    def test_long_ref_chains_resolve(self):
+        source = """
+        chain(A) :- A = B, B = C, C = D, D = E, E = 42.
+        main(R) :- chain(R).
+        """
+        _, result = run(source, "main(R)")
+        assert result.answer["R"] == 42
+
+    def test_ref_chain_reads_are_counted(self):
+        machine, result = run("main(R) :- R = A, A = B, B = 7.", "main(R)")
+        assert result.stats.refs[Area.HEAP][Op.R] > 0
+
+
+class TestStructureMatching:
+    def test_deeply_nested_match(self):
+        source = """
+        peel(f(g(h(X))), R) :- R = X.
+        main(R) :- peel(f(g(h(99))), R).
+        """
+        _, result = run(source, "main(R)")
+        assert result.answer["R"] == 99
+
+    def test_nested_mismatch_falls_through(self):
+        source = """
+        peel(f(g(X)), R) :- R = g.
+        peel(f(h(X)), R) :- R = h.
+        main(R) :- peel(f(h(1)), R).
+        """
+        _, result = run(source, "main(R)")
+        assert result.answer["R"] == "h"
+
+    def test_structure_arity_distinguishes_procedures(self):
+        source = """
+        p(f(X), R) :- R = one.
+        p(g(X, Y), R) :- R = two.
+        main(A, B) :- p(f(0), A), p(g(0, 0), B).
+        """
+        _, result = run(source, "main(A, B)")
+        assert result.answer == {"A": "one", "B": "two"}
+
+    def test_same_name_different_arity_functors_differ(self):
+        source = """
+        p(f(X), R) :- R = unary.
+        p(f(X, Y), R) :- R = binary.
+        main(R) :- p(f(1, 2), R).
+        """
+        _, result = run(source, "main(R)")
+        assert result.answer["R"] == "binary"
+
+    def test_suspension_inside_nested_structure(self):
+        source = """
+        peel(f(g(X)), R) :- R = X.
+        mk(F) :- F = f(G), G = g(5).
+        main(R) :- peel(F, R), mk(F).
+        """
+        _, result = run(source, "main(R)", n_pes=2)
+        assert result.answer["R"] == 5
+        assert result.suspensions >= 1
+
+
+class TestGuards:
+    def test_equality_of_atoms(self):
+        source = """
+        pick(X, R) :- X == foo | R = yes.
+        pick(X, R) :- X \\== foo | R = no.
+        main(A, B) :- pick(foo, A), pick(bar, B).
+        """
+        _, result = run(source, "main(A, B)")
+        assert result.answer == {"A": "yes", "B": "no"}
+
+    def test_guard_division_by_zero_fails_clause(self):
+        source = """
+        f(X, R) :- 10 / X > 1 | R = big.
+        f(X, R) :- otherwise | R = other.
+        main(R) :- f(0, R).
+        """
+        _, result = run(source, "main(R)")
+        assert result.answer["R"] == "other"
+
+    def test_guard_on_structure_fails_not_crashes(self):
+        source = """
+        f(X, R) :- X > 0 | R = pos.
+        f(X, R) :- otherwise | R = other.
+        main(R) :- f(g(1), R).
+        """
+        _, result = run(source, "main(R)")
+        assert result.answer["R"] == "other"
+
+    def test_multiple_guards_all_must_hold(self):
+        source = """
+        mid(X, R) :- X > 10, X < 20 | R = in.
+        mid(X, R) :- otherwise | R = out.
+        main(A, B, C) :- mid(15, A), mid(5, B), mid(25, C).
+        """
+        _, result = run(source, "main(A, B, C)")
+        assert result.answer == {"A": "in", "B": "out", "C": "out"}
+
+
+class TestSuspensionPlumbing:
+    def test_hook_cell_written_on_suspend(self):
+        source = (
+            "waitx(X, R) :- X > 0 | R = X.\n"
+            "bindit(X) :- X = 3.\n"
+            "main(R) :- waitx(X, R), bindit(X)."
+        )
+        machine = KL1Machine(source, MachineConfig(n_pes=1, seed=1))
+        result = machine.run("main(R)")
+        assert result.answer["R"] == 3
+        # Suspension and resumption touched the suspension area.
+        assert result.stats.refs_by_area(Area.SUSPENSION) > 0
+
+    def test_many_goals_on_one_variable(self):
+        source = """
+        waitx(X, R) :- X >= 0 | R := X + 1.
+        sum4(A, B, C, D, R) :- T1 := A + B, T2 := C + D, R := T1 + T2.
+        bindit(X) :- X = 10.
+        main(R) :- waitx(X, A), waitx(X, B), waitx(X, C), waitx(X, D),
+                   sum4(A, B, C, D, R), bindit(X).
+        """
+        _, result = run(source, "main(R)")
+        assert result.answer["R"] == 44
+        assert result.suspensions >= 4
+
+    def test_suspension_records_recycled(self):
+        source = """
+        waitx(X, R) :- X >= 0 | R = X.
+        loop(0, R) :- R = done.
+        loop(N, R) :- N > 0 | waitx(X, _), X = N, N1 := N - 1, loop(N1, R).
+        main(R) :- loop(50, R).
+        """
+        machine, result = run(source, "main(R)")
+        assert result.answer["R"] == "done"
+        # The free list keeps the suspension area from growing linearly.
+        assert machine.susp_area.high_water[0] < 50 * machine.susp_area.stride
+
+
+class TestBodyConstruction:
+    def test_shared_substructure_built_once(self):
+        source = "main(R) :- X = [1, 2], R = p(X, X)."
+        machine, result = run(source, "main(R)")
+        assert result.answer["R"] == ("p", [1, 2], [1, 2])
+
+    def test_atom_interning_across_clauses(self):
+        source = """
+        a(R) :- R = shared_atom.
+        b(R) :- R = shared_atom.
+        main(X, Y) :- a(X), b(Y).
+        """
+        machine, result = run(source, "main(X, Y)")
+        assert result.answer["X"] == result.answer["Y"] == "shared_atom"
+
+    def test_zero_arity_spawn(self):
+        source = """
+        noop.
+        main(R) :- noop, R = ok.
+        """
+        _, result = run(source, "main(R)")
+        assert result.answer["R"] == "ok"

@@ -1,0 +1,129 @@
+"""FGHC parser tests."""
+
+import pytest
+
+from repro.machine.errors import FGHCSyntaxError
+from repro.machine.parser import parse_goal, parse_program
+from repro.machine.terms import SAtom, SInt, SList, SStruct, SVar
+
+
+def parse_one(text):
+    clauses = parse_program(text)
+    assert len(clauses) == 1
+    return clauses[0]
+
+
+class TestClauses:
+    def test_fact(self):
+        clause = parse_one("p(1, foo).")
+        assert clause.head == SStruct("p", (SInt(1), SAtom("foo")))
+        assert clause.guards == ()
+        assert clause.body == ()
+
+    def test_guard_and_body(self):
+        clause = parse_one("p(X, Y) :- X > 0 | Y = 1.")
+        assert clause.guards == (SStruct(">", (SVar("X"), SInt(0))),)
+        assert clause.body == (SStruct("=", (SVar("Y"), SInt(1))),)
+
+    def test_body_without_guard(self):
+        clause = parse_one("p(X) :- q(X), r(X).")
+        assert clause.guards == ()
+        assert len(clause.body) == 2
+
+    def test_true_goals_are_stripped(self):
+        clause = parse_one("p(X) :- true | true.")
+        assert clause.guards == ()
+        assert clause.body == ()
+
+    def test_zero_arity_head(self):
+        clause = parse_one("main :- p(1).")
+        assert clause.head == SStruct("main", ())
+
+    def test_multiple_clauses(self):
+        clauses = parse_program("p(0).\np(N) :- N > 0 | q(N).")
+        assert len(clauses) == 2
+
+    def test_comments_ignored(self):
+        clauses = parse_program("% a comment\np(1). % trailing\n")
+        assert len(clauses) == 1
+
+
+class TestTerms:
+    def test_list_sugar(self):
+        clause = parse_one("p([1, 2 | T]).")
+        term = clause.head.args[0]
+        assert term == SList(SInt(1), SList(SInt(2), SVar("T")))
+
+    def test_empty_list(self):
+        clause = parse_one("p([]).")
+        assert clause.head.args[0] == SAtom("[]")
+
+    def test_nested_structures(self):
+        clause = parse_one("p(f(g(X), [a])).")
+        f = clause.head.args[0]
+        assert isinstance(f, SStruct) and f.name == "f"
+        assert isinstance(f.args[0], SStruct) and f.args[0].name == "g"
+
+    def test_negative_literal(self):
+        clause = parse_one("p(-1).")
+        assert clause.head.args[0] == SInt(-1)
+
+    def test_arithmetic_precedence(self):
+        clause = parse_one("p(X) :- Y := X * 2 + 1, q(Y).")
+        assign = clause.body[0]
+        assert assign.name == ":="
+        plus = assign.args[1]
+        assert plus.name == "+"
+        assert plus.args[0] == SStruct("*", (SVar("X"), SInt(2)))
+
+    def test_parentheses_override_precedence(self):
+        clause = parse_one("p(X) :- Y := X * (2 + 1), q(Y).")
+        times = clause.body[0].args[1]
+        assert times.name == "*"
+        assert times.args[1] == SStruct("+", (SInt(2), SInt(1)))
+
+    def test_mod_operator(self):
+        clause = parse_one("p(X) :- X mod 2 =:= 0 | q.")
+        guard = clause.guards[0]
+        assert guard.name == "=:="
+        assert guard.args[0] == SStruct("mod", (SVar("X"), SInt(2)))
+
+    def test_comparison_tokens(self):
+        for op in ("<", "=<", ">", ">=", "=:=", "=\\=", "==", "\\=="):
+            clause = parse_one(f"p(X, Y) :- X {op} Y | q.")
+            assert clause.guards[0].name == op
+
+
+class TestErrors:
+    def test_missing_period(self):
+        with pytest.raises(FGHCSyntaxError):
+            parse_program("p(X) :- q(X)")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(FGHCSyntaxError):
+            parse_program("p(X :- q(X).")
+
+    def test_bad_character(self):
+        with pytest.raises(FGHCSyntaxError):
+            parse_program("p(X) :- q(X) & r(X).")
+
+    def test_error_carries_location(self):
+        try:
+            parse_program("p(X) :-\n q(X) &.")
+        except FGHCSyntaxError as error:
+            assert error.line == 2
+        else:  # pragma: no cover
+            raise AssertionError("expected a syntax error")
+
+
+class TestParseGoal:
+    def test_simple(self):
+        goal = parse_goal("main(12, R)")
+        assert goal == SStruct("main", (SInt(12), SVar("R")))
+
+    def test_zero_arity(self):
+        assert parse_goal("main") == SStruct("main", ())
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(FGHCSyntaxError):
+            parse_goal("main(1). extra")

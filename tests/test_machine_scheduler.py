@@ -1,0 +1,72 @@
+"""Work-stealing scheduler tests."""
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.machine.machine import KL1Machine
+from repro.trace.events import Area, Op
+
+FANOUT = """
+work(0, R) :- R = 1.
+work(N, R) :- N > 0 | N1 := N - 1, work(N1, R1), work(N1, R2), R := R1 + R2.
+main(R) :- work(8, R).
+"""
+
+
+def test_work_spreads_across_pes():
+    machine = KL1Machine(FANOUT, MachineConfig(n_pes=4, seed=1))
+    result = machine.run("main(R)")
+    assert result.answer["R"] == 256
+    busy = [count for count in result.pe_reductions if count > 0]
+    assert len(busy) == 4, f"work never spread: {result.pe_reductions}"
+    # No PE should hold a grossly dominant share.
+    assert max(result.pe_reductions) < 0.75 * result.reductions
+
+
+def test_single_pe_has_no_comm_traffic():
+    machine = KL1Machine(FANOUT, MachineConfig(n_pes=1, seed=1))
+    result = machine.run("main(R)")
+    assert result.answer["R"] == 256
+    assert result.stats is not None
+    comm_refs = sum(result.stats.refs[Area.COMMUNICATION])
+    assert comm_refs == 0
+
+
+def test_multi_pe_generates_comm_lock_traffic():
+    machine = KL1Machine(FANOUT, MachineConfig(n_pes=4, seed=1))
+    result = machine.run("main(R)")
+    stats = result.stats
+    assert stats.refs[Area.COMMUNICATION][Op.LR] > 0  # request flags locked
+    assert stats.refs[Area.COMMUNICATION][Op.RI] > 0  # replies read with RI
+
+
+def test_stolen_goal_records_travel_cache_to_cache():
+    machine = KL1Machine(FANOUT, MachineConfig(n_pes=4, seed=1))
+    result = machine.run("main(R)")
+    # ER reads of stolen records invalidate the supplier: the signature
+    # of the paper's goal-distribution scenario.
+    assert result.stats.supplier_invalidations > 0
+
+
+def test_deterministic_given_seed():
+    runs = []
+    for _ in range(2):
+        machine = KL1Machine(FANOUT, MachineConfig(n_pes=4, seed=7))
+        result = machine.run("main(R)")
+        runs.append((result.reductions, result.memory_refs,
+                     result.stats.bus_cycles_total))
+    assert runs[0] == runs[1]
+
+
+def test_different_seeds_still_compute_same_answer():
+    answers = set()
+    for seed in (1, 2, 3):
+        machine = KL1Machine(FANOUT, MachineConfig(n_pes=4, seed=seed))
+        answers.add(machine.run("main(R)").answer["R"])
+    assert answers == {256}
+
+
+@pytest.mark.parametrize("n_pes", [1, 2, 3, 8])
+def test_any_pe_count_works(n_pes):
+    machine = KL1Machine(FANOUT, MachineConfig(n_pes=n_pes, seed=1))
+    assert machine.run("main(R)").answer["R"] == 256

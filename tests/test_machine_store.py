@@ -1,0 +1,114 @@
+"""Backing-store unit tests (heap, record areas, mailboxes)."""
+
+import pytest
+
+from repro.machine.errors import HeapOverflowError
+from repro.machine.store import (
+    COMM_BASE,
+    GOAL_BASE,
+    CommArea,
+    HeapStore,
+    RecordArea,
+    SUSP_BASE,
+    owner_of,
+    segment_base,
+)
+from repro.machine.terms import ATOM, INT, REF
+
+
+class TestHeapStore:
+    def test_allocate_and_read(self):
+        heap = HeapStore(2)
+        address = heap.allocate(0, INT, 42)
+        assert heap.read(address) == (INT, 42)
+
+    def test_unbound_cell_points_to_itself(self):
+        heap = HeapStore(2)
+        address = heap.allocate_unbound(1)
+        assert heap.read(address) == (REF, address)
+        assert owner_of(address) == 1
+
+    def test_segments_are_per_pe(self):
+        heap = HeapStore(4)
+        a = heap.allocate(0, INT, 1)
+        b = heap.allocate(3, INT, 2)
+        assert owner_of(a) == 0
+        assert owner_of(b) == 3
+        assert heap.top(0) == 1 and heap.top(3) == 1
+
+    def test_write(self):
+        heap = HeapStore(1)
+        address = heap.allocate_unbound(0)
+        heap.write(address, ATOM, 7)
+        assert heap.read(address) == (ATOM, 7)
+
+    def test_overflow(self):
+        heap = HeapStore(1, limit=4)
+        for _ in range(4):
+            heap.allocate(0, INT, 0)
+        with pytest.raises(HeapOverflowError):
+            heap.allocate(0, INT, 0)
+        with pytest.raises(HeapOverflowError):
+            heap.allocate_unbound(0)
+
+    def test_total_words(self):
+        heap = HeapStore(2)
+        heap.allocate(0, INT, 1)
+        heap.allocate(1, INT, 2)
+        assert heap.total_words() == 2
+
+
+class TestRecordArea:
+    def test_allocate_extends_then_recycles(self):
+        area = RecordArea(GOAL_BASE, 2, stride=8)
+        first = area.allocate(0)
+        second = area.allocate(0)
+        assert second == first + 8
+        area.release(first)
+        assert area.allocate(0) == first  # recycled
+
+    def test_release_routes_to_owning_segment(self):
+        area = RecordArea(GOAL_BASE, 4, stride=8)
+        record = area.allocate(2)
+        area.release(record)  # released by anyone, lands in PE2's list
+        assert area.allocate(2) == record
+
+    def test_read_write(self):
+        area = RecordArea(SUSP_BASE, 1, stride=4)
+        record = area.allocate(0)
+        area.write(record + 1, ("tagged", 9))
+        assert area.read(record + 1) == ("tagged", 9)
+
+    def test_alignment_to_stride(self):
+        area = RecordArea(GOAL_BASE, 1, stride=8)
+        records = [area.allocate(0) for _ in range(4)]
+        assert all(record % 8 == 0 for record in records)
+
+    def test_high_water_tracks_growth(self):
+        area = RecordArea(GOAL_BASE, 1, stride=8)
+        area.allocate(0)
+        area.allocate(0)
+        assert area.high_water[0] == 16
+
+
+class TestCommArea:
+    def test_mailbox_addresses_are_per_pe_and_block_separated(self):
+        comm = CommArea(4)
+        for pe in range(4):
+            flag = comm.flag_address(pe)
+            reply = comm.reply_address(pe)
+            assert owner_of(flag) == pe
+            assert (flag >> 24) & 0xF == pe
+            # The flag and the reply slot sit in different 4-word blocks.
+            assert flag // 4 != reply // 4
+
+    def test_read_write(self):
+        comm = CommArea(2)
+        comm.write(comm.flag_address(1), 3)
+        assert comm.read(comm.flag_address(1)) == 3
+        assert comm.read(comm.flag_address(0)) == 0
+
+
+def test_segment_base_math():
+    assert segment_base(COMM_BASE, 0) == COMM_BASE
+    assert segment_base(COMM_BASE, 5) == COMM_BASE | (5 << 24)

@@ -1,0 +1,70 @@
+"""Unit tests for the memory-reference vocabulary."""
+
+import pytest
+
+from repro.trace.events import (
+    AREA_BASE,
+    DATA_AREAS,
+    FLAG_LOCK_CONTENDED,
+    LOCK_OPS,
+    READ_LIKE_OPS,
+    WRITE_LIKE_OPS,
+    Area,
+    MemRef,
+    Op,
+    area_of_address,
+)
+
+
+def test_nine_operations():
+    assert len(Op) == 9
+    assert {op.name for op in Op} == {
+        "R", "W", "LR", "UW", "U", "DW", "ER", "RP", "RI",
+    }
+
+
+def test_five_areas():
+    assert len(Area) == 5
+    assert Area.INSTRUCTION == 0
+
+
+def test_area_bases_are_disjoint():
+    bases = sorted(AREA_BASE.values())
+    assert len(set(bases)) == len(bases)
+    for low, high in zip(bases, bases[1:]):
+        assert high - low == 1 << 28
+
+
+@pytest.mark.parametrize("area", list(Area))
+def test_area_of_address_roundtrip(area):
+    base = AREA_BASE[area]
+    assert area_of_address(base) is area
+    assert area_of_address(base + 12345) is area
+    assert area_of_address(base + (1 << 28) - 1) is area
+
+
+def test_op_classes_partition_data_flow():
+    assert READ_LIKE_OPS & WRITE_LIKE_OPS == set()
+    assert Op.LR in READ_LIKE_OPS
+    assert Op.UW in WRITE_LIKE_OPS
+    assert Op.U in LOCK_OPS and Op.U not in READ_LIKE_OPS | WRITE_LIKE_OPS
+
+
+def test_data_areas_exclude_instruction():
+    assert Area.INSTRUCTION not in DATA_AREAS
+    assert len(DATA_AREAS) == 4
+
+
+def test_memref_str_mentions_parts():
+    ref = MemRef(3, Op.LR, Area.HEAP, 0x10000004, FLAG_LOCK_CONTENDED)
+    text = str(ref)
+    assert "PE3" in text
+    assert "LR" in text
+    assert "heap" in text
+    assert "contended" in text
+
+
+def test_memref_is_frozen():
+    ref = MemRef(0, Op.R, Area.HEAP, 1)
+    with pytest.raises(Exception):
+        ref.pe = 1  # type: ignore[misc]

@@ -1,0 +1,51 @@
+"""Trace file round-trip tests."""
+
+import pytest
+
+from repro.trace.buffer import TraceBuffer
+from repro.trace.events import Area, Op
+from repro.trace.io import TraceFormatError, read_trace, write_trace
+from repro.trace.synthetic import generate_random_trace
+
+
+def test_roundtrip_empty(tmp_path):
+    buffer = TraceBuffer(n_pes=3)
+    path = tmp_path / "empty.trace"
+    write_trace(buffer, path)
+    loaded = read_trace(path)
+    assert loaded.n_pes == 3
+    assert len(loaded) == 0
+
+
+def test_roundtrip_content(tmp_path):
+    buffer = generate_random_trace(5000, n_pes=4, seed=11)
+    path = tmp_path / "t.trace"
+    write_trace(buffer, path)
+    loaded = read_trace(path)
+    assert len(loaded) == len(buffer)
+    assert list(loaded) == list(buffer)
+
+
+def test_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.trace"
+    path.write_bytes(b"NOTATRACE\nstuff")
+    with pytest.raises(TraceFormatError):
+        read_trace(path)
+
+
+def test_rejects_truncated_header(tmp_path):
+    path = tmp_path / "trunc.trace"
+    path.write_bytes(b"PIMTRACE\n1 little\n")
+    with pytest.raises(TraceFormatError):
+        read_trace(path)
+
+
+def test_rejects_bad_version(tmp_path):
+    buffer = TraceBuffer()
+    buffer.append(0, Op.R, Area.HEAP, 1)
+    path = tmp_path / "v.trace"
+    write_trace(buffer, path)
+    data = path.read_bytes().replace(b"\n1 ", b"\n9 ", 1)
+    path.write_bytes(data)
+    with pytest.raises(TraceFormatError):
+        read_trace(path)

@@ -1,0 +1,73 @@
+"""Tests for the synthetic trace generators."""
+
+from collections import Counter
+
+from repro.core.config import OptimizationConfig, SimulationConfig
+from repro.core.replay import replay
+from repro.trace.events import Area, Op
+from repro.trace.synthetic import (
+    AuroraTraceConfig,
+    generate_aurora_trace,
+    generate_random_trace,
+)
+
+
+class TestAuroraTrace:
+    def test_deterministic_per_seed(self):
+        config = AuroraTraceConfig(n_pes=2, steps_per_pe=100)
+        a = generate_aurora_trace(config)
+        b = generate_aurora_trace(config)
+        assert list(a) == list(b)
+
+    def test_different_seeds_differ(self):
+        a = generate_aurora_trace(AuroraTraceConfig(n_pes=2, steps_per_pe=100, seed=1))
+        b = generate_aurora_trace(AuroraTraceConfig(n_pes=2, steps_per_pe=100, seed=2))
+        assert list(a) != list(b)
+
+    def test_prolog_like_mix(self):
+        """High write ratio (Tick reports ~47 % data writes for Prolog)
+        and a meaningful lock share."""
+        trace = generate_aurora_trace(AuroraTraceConfig(n_pes=4, steps_per_pe=500))
+        ops = Counter(op for _, op, _, _, _ in trace)
+        data_total = sum(
+            count for (op), count in ops.items()
+        ) - sum(1 for _, op, area, _, _ in trace if area == Area.INSTRUCTION)
+        writes = ops[Op.W] + ops[Op.DW] + ops[Op.UW]
+        assert 0.25 < writes / data_total < 0.7
+        assert ops[Op.LR] > 0
+
+    def test_lock_pairs_are_balanced(self):
+        trace = generate_aurora_trace(AuroraTraceConfig(n_pes=4, steps_per_pe=300))
+        ops = Counter(op for _, op, _, _, _ in trace)
+        assert ops[Op.LR] == ops[Op.UW] + ops[Op.U]
+
+    def test_optimizations_help_aurora(self):
+        """The paper's transfer claim: the commands help OR-parallel
+        Prolog workloads too."""
+        trace = generate_aurora_trace(AuroraTraceConfig(n_pes=4, steps_per_pe=400))
+        on = replay(trace, SimulationConfig(opts=OptimizationConfig.all()))
+        off = replay(trace, SimulationConfig(opts=OptimizationConfig.none()))
+        assert on.bus_cycles_total < 0.8 * off.bus_cycles_total
+
+
+class TestRandomTrace:
+    def test_requested_length(self):
+        trace = generate_random_trace(1000, n_pes=4, seed=0)
+        assert len(trace) >= 1000  # plus any drained locks
+
+    def test_replays_without_blocking(self):
+        trace = generate_random_trace(2000, n_pes=4, seed=5)
+        stats = replay(trace, SimulationConfig(track_data=True))
+        assert stats.total_refs == len(trace)
+
+    def test_locks_are_well_formed(self):
+        trace = generate_random_trace(3000, n_pes=4, seed=9)
+        held = set()
+        for pe, op, area, addr, _ in trace:
+            if op == Op.LR:
+                assert addr not in held
+                held.add(addr)
+            elif op in (Op.UW, Op.U):
+                assert addr in held
+                held.discard(addr)
+        assert not held  # all drained at the end

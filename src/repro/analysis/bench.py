@@ -1,0 +1,228 @@
+"""Replay-throughput benchmark: ``python -m repro bench``.
+
+Seeds the performance trajectory for the replay kernel.  Three workloads
+bracket the design space:
+
+``hot``
+    The single-config replay microbenchmark: a hit-dominated mix of the
+    ops the protocol actually sees (R with DW/ER/W, the paper's
+    direct-write and exclusive-read included) over per-PE working sets
+    sized to hit ~99% of the time — the regime the paper's benchmarks
+    run in (their Table 2 hit ratios are 93-97%) and the regime the
+    inlined hit paths in :mod:`repro.core.replay` target.
+``random``
+    A uniform random stream (~27% hit ratio): stresses the miss/bus
+    path, where dispatch overhead is a small fraction of the work.
+``tri``
+    A real captured benchmark trace (full mode only; uses the
+    :class:`~repro.analysis.runner.Workloads` disk cache, so only the
+    first ever run pays for emulation).
+
+Throughput is CPU time (``time.process_time``), best of N repeats, so
+numbers are comparable on shared machines; the sweep section times wall
+clock (``time.perf_counter``), because wall time is what
+:func:`~repro.analysis.parallel.run_sweep` parallelism improves — on a
+single-CPU host the ``--jobs N`` point cannot beat serial and the JSON
+records ``host_cpus`` so readers can tell.
+
+Baselines were measured at the pre-rewrite commit (the growth seed) with
+this same methodology, interleaved with the post-rewrite runs on one
+host to cancel machine drift; they are rates, so they do not depend on
+the exact reference counts used.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import CacheConfig, SimulationConfig
+from repro.core.replay import replay
+from repro.core.stats import SystemStats
+from repro.analysis.parallel import default_jobs, run_sweep
+from repro.trace.buffer import TraceBuffer
+from repro.trace.events import Area, Op
+from repro.trace.synthetic import generate_random_trace
+
+#: refs/sec at the pre-rewrite baseline (if/elif dispatch, per-access
+#: method calls), best-of-5 ``process_time`` medians from runs
+#: interleaved with the rewritten code on the same host.
+BASELINE_REFS_PER_SEC: Dict[str, float] = {
+    "hot": 692_000.0,
+    "random": 168_000.0,
+    "tri": 595_000.0,
+}
+
+DEFAULT_OUTPUT = "BENCH_replay.json"
+
+
+def hot_trace(
+    n_refs: int = 400_000, n_pes: int = 8, seed: int = 3
+) -> TraceBuffer:
+    """The hit-dominated microbenchmark stream (deterministic)."""
+    rng = random.Random(seed)
+    buffer = TraceBuffer(n_pes=n_pes)
+    base = 1 << 20
+    ops = [Op.R] * 6 + [Op.DW] * 2 + [Op.ER, Op.W]
+    areas = [Area.HEAP, Area.GOAL, Area.INSTRUCTION]
+    mask = n_pes - 1
+    for i in range(n_refs):
+        pe = i & mask
+        buffer.append(
+            pe,
+            ops[rng.randrange(10)],
+            areas[rng.randrange(3)],
+            base + (pe << 12) + rng.randrange(512),
+        )
+    return buffer
+
+
+def measure_replay(
+    buffer: TraceBuffer,
+    config: Optional[SimulationConfig] = None,
+    repeats: int = 5,
+) -> Tuple[float, SystemStats]:
+    """Best-of-*repeats* replay throughput in refs per CPU-second."""
+    best = float("inf")
+    stats = None
+    for _ in range(repeats):
+        start = time.process_time()
+        stats = replay(buffer, config)
+        elapsed = time.process_time() - start
+        best = min(best, elapsed)
+    assert stats is not None
+    return len(buffer) / best if best > 0 else float("inf"), stats
+
+
+def sweep_configs(points: int = 4) -> List[SimulationConfig]:
+    """A capacity sweep (doubling set counts), one config per point."""
+    return [
+        SimulationConfig(cache=CacheConfig(n_sets=64 << i))
+        for i in range(points)
+    ]
+
+
+def _stats_key(stats: SystemStats):
+    return (
+        [list(row) for row in stats.refs],
+        [list(row) for row in stats.hits],
+        list(stats.pe_cycles),
+        stats.bus_cycles_total,
+    )
+
+
+def time_sweep(
+    buffer: TraceBuffer, configs: Sequence[SimulationConfig], jobs: int
+) -> Tuple[float, List[SystemStats]]:
+    """Wall-clock seconds for one full sweep at the given job count."""
+    start = time.perf_counter()
+    results = run_sweep(buffer, configs, jobs=jobs)
+    return time.perf_counter() - start, results
+
+
+def run_bench(
+    quick: bool = False,
+    jobs: Optional[int] = None,
+    repeats: Optional[int] = None,
+) -> dict:
+    """Run every benchmark section and return the report dict."""
+    if repeats is None:
+        repeats = 3 if quick else 5
+    if jobs is None:
+        jobs = min(4, max(2, default_jobs()))
+
+    workloads: Dict[str, TraceBuffer] = {
+        "hot": hot_trace(200_000 if quick else 400_000),
+        # Same size in both modes: the random stream's rate depends on
+        # its cold-start fraction, so a shorter quick variant would not
+        # be comparable with the recorded baseline rate.
+        "random": generate_random_trace(200_000, n_pes=8, seed=42),
+    }
+    if not quick:
+        from repro.analysis.runner import Workloads
+
+        workloads["tri"] = Workloads(scale="small").trace("tri")
+
+    report: dict = {
+        "benchmark": "replay",
+        "quick": quick,
+        "host_cpus": os.cpu_count() or 1,
+        "repeats": repeats,
+        "workloads": {},
+    }
+    for name, buffer in workloads.items():
+        rate, stats = measure_replay(buffer, repeats=repeats)
+        total = sum(sum(row) for row in stats.refs)
+        hits = sum(sum(row) for row in stats.hits)
+        baseline = BASELINE_REFS_PER_SEC.get(name)
+        report["workloads"][name] = {
+            "refs": len(buffer),
+            "hit_ratio": round(hits / total, 4) if total else 0.0,
+            "bus_cycles": stats.bus_cycles_total,
+            "refs_per_sec": round(rate),
+            "baseline_refs_per_sec": baseline,
+            "speedup": round(rate / baseline, 2) if baseline else None,
+        }
+
+    sweep_trace = workloads["hot"]
+    configs = sweep_configs()
+    serial_time, serial_results = time_sweep(sweep_trace, configs, jobs=1)
+    parallel_time, parallel_results = time_sweep(sweep_trace, configs, jobs=jobs)
+    for serial, parallel in zip(serial_results, parallel_results):
+        if _stats_key(serial) != _stats_key(parallel):
+            raise AssertionError(
+                "parallel sweep diverged from serial results"
+            )
+    report["sweep"] = {
+        "points": len(configs),
+        "refs": len(sweep_trace),
+        "jobs": jobs,
+        "wall_seconds_serial": round(serial_time, 3),
+        "wall_seconds_parallel": round(parallel_time, 3),
+        "parallel_speedup": round(serial_time / parallel_time, 2)
+        if parallel_time > 0
+        else None,
+        "results_identical": True,
+    }
+    return report
+
+
+def write_report(report: dict, path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def format_report(report: dict) -> str:
+    lines = [
+        f"replay benchmark ({'quick' if report['quick'] else 'full'}, "
+        f"{report['host_cpus']} cpus, best of {report['repeats']})"
+    ]
+    for name, entry in report["workloads"].items():
+        speedup = (
+            f"  ({entry['speedup']:.2f}x vs baseline "
+            f"{entry['baseline_refs_per_sec']:,.0f}/s)"
+            if entry["speedup"]
+            else ""
+        )
+        lines.append(
+            f"  {name:>7}: {entry['refs_per_sec']:>10,} refs/sec, "
+            f"hit ratio {entry['hit_ratio']:.4f}{speedup}"
+        )
+    sweep = report["sweep"]
+    lines.append(
+        f"  sweep ({sweep['points']} points x {sweep['refs']:,} refs): "
+        f"jobs=1 {sweep['wall_seconds_serial']:.2f}s, "
+        f"jobs={sweep['jobs']} {sweep['wall_seconds_parallel']:.2f}s "
+        f"({sweep['parallel_speedup']:.2f}x, results identical)"
+    )
+    if report["host_cpus"] < 2:
+        lines.append(
+            "  note: single-CPU host; the parallel sweep cannot beat "
+            "serial here"
+        )
+    return "\n".join(lines)

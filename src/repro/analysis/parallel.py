@@ -1,0 +1,107 @@
+"""Parallel parameter sweeps over a shared reference trace.
+
+A sweep replays one captured trace against many cache configurations
+(Tables 2-5 and every figure do exactly this).  Each replay is
+independent, so the points fan out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.
+
+The trace is the bulky part — hundreds of thousands of references — so
+it is shipped to the workers once, through the
+:mod:`repro.trace.io` file format, instead of being pickled into every
+task: the pool initializer loads the file into a module global and each
+task carries only its :class:`~repro.core.config.SimulationConfig`.
+This works under both the ``fork`` and ``spawn`` start methods.
+
+Results are plain :class:`~repro.core.stats.SystemStats` objects (they
+pickle cleanly) in the same order as the configurations passed in, and
+are bit-identical to a serial :func:`~repro.core.replay.replay_many` —
+replay is deterministic given (trace, config).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.core.config import SimulationConfig
+from repro.core.replay import replay
+from repro.core.stats import SystemStats
+from repro.trace.buffer import TraceBuffer
+from repro.trace.io import read_trace, write_trace
+
+#: Trace loaded once per worker process by :func:`_init_worker`.
+_worker_trace: Optional[TraceBuffer] = None
+
+
+def _init_worker(trace_path: str) -> None:
+    global _worker_trace
+    _worker_trace = read_trace(trace_path)
+
+
+def _replay_one(config: SimulationConfig) -> SystemStats:
+    assert _worker_trace is not None, "worker initializer did not run"
+    return replay(_worker_trace, config)
+
+
+def default_jobs() -> int:
+    """Worker count used when ``jobs`` is not given: one per CPU."""
+    return os.cpu_count() or 1
+
+
+def run_sweep(
+    trace: Union[TraceBuffer, str, Path],
+    configs: Sequence[SimulationConfig],
+    jobs: Optional[int] = None,
+) -> List[SystemStats]:
+    """Replay *trace* against every config, farming points out to *jobs*
+    worker processes.
+
+    *trace* may be an in-memory :class:`TraceBuffer` (written to a
+    temporary file for shipment) or a path to an already-written trace
+    file (e.g. straight out of the :class:`~repro.analysis.runner.
+    Workloads` disk cache, skipping the extra write).
+
+    ``jobs=None`` uses one worker per CPU; ``jobs<=1`` (or a single
+    config) runs serially in-process with no pool at all.  Results come
+    back in input order and match a serial run bit for bit.
+    """
+    configs = list(configs)
+    if jobs is None:
+        jobs = default_jobs()
+    jobs = min(jobs, len(configs)) if configs else 1
+    if jobs <= 1:
+        if isinstance(trace, (str, Path)):
+            trace = read_trace(trace)
+        return [replay(trace, config) for config in configs]
+
+    tmp_path: Optional[str] = None
+    if isinstance(trace, (str, Path)):
+        trace_path = str(trace)
+    else:
+        fd, tmp_path = tempfile.mkstemp(suffix=".trace", prefix="repro-sweep-")
+        os.close(fd)
+        write_trace(trace, tmp_path)
+        trace_path = tmp_path
+    try:
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_worker,
+            initargs=(trace_path,),
+        ) as pool:
+            return list(pool.map(_replay_one, configs))
+    finally:
+        if tmp_path is not None:
+            os.unlink(tmp_path)
+
+
+def merge_stats(parts: Sequence[SystemStats]) -> SystemStats:
+    """Aggregate per-trace results into one :class:`SystemStats`.
+
+    Thin wrapper over :meth:`SystemStats.merged` for sweep callers that
+    split one workload family (e.g. the same benchmark at several
+    scales) across processes and want combined counters back.
+    """
+    return SystemStats.merged(parts)

@@ -10,7 +10,10 @@ paper's emulator/simulator pair was amortized across experiments.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.core.config import MachineConfig, OptimizationConfig, SimulationConfig
@@ -18,6 +21,29 @@ from repro.core.replay import replay
 from repro.core.stats import SystemStats
 from repro.machine.machine import KL1Machine, MachineResult
 from repro.trace.buffer import TraceBuffer
+from repro.trace.io import TraceFormatError, read_trace, write_trace
+
+#: Bump when the emulator or scheduler changes the reference streams it
+#: emits: the version is part of every cache file name, so stale traces
+#: from an older emulator are simply never read again.
+TRACE_CACHE_VERSION = 1
+
+
+def trace_cache_dir() -> Optional[Path]:
+    """Directory for cached traces, or None when caching is disabled.
+
+    Controlled by ``REPRO_TRACE_CACHE``: unset uses
+    ``~/.cache/repro/traces`` (``$XDG_CACHE_HOME`` honoured), ``0`` /
+    ``off`` disables the cache, anything else is used as the directory.
+    """
+    env = os.environ.get("REPRO_TRACE_CACHE")
+    if env is not None:
+        if env.strip().lower() in ("", "0", "off", "no", "none"):
+            return None
+        return Path(env).expanduser()
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = Path(base).expanduser() if base else Path.home() / ".cache"
+    return root / "repro" / "traces"
 
 
 @dataclass
@@ -94,29 +120,98 @@ def replay_trace(
 
 
 class Workloads:
-    """Memoized benchmark runs shared across experiments."""
+    """Memoized benchmark runs shared across experiments.
+
+    Traces are additionally cached on disk, keyed by
+    ``(benchmark, scale, n_pes, seed)`` plus :data:`TRACE_CACHE_VERSION`,
+    so repeated pytest / benchmark invocations skip re-emulation — the
+    expensive part — and go straight to replay.  Only :meth:`trace`
+    consults the disk cache; :meth:`result` needs the machine-level
+    outcome and always emulates (then refreshes the cached trace).
+    """
 
     def __init__(self, scale: str = "small", seed: int = 1):
         self.scale = scale
         self.seed = seed
         self._cache: Dict[Tuple[str, int], BenchmarkResult] = {}
+        self._traces: Dict[Tuple[str, int], TraceBuffer] = {}
         self._replays: Dict[Tuple[str, int, SimulationConfig], SystemStats] = {}
 
     def result(self, name: str, n_pes: int = 8) -> BenchmarkResult:
         key = (name, n_pes)
         if key not in self._cache:
-            self._cache[key] = run_benchmark(
+            result = run_benchmark(
                 name,
                 scale=self.scale,
                 n_pes=n_pes,
                 machine_config=MachineConfig(n_pes=n_pes, seed=self.seed),
             )
+            self._cache[key] = result
+            if result.trace is not None:
+                self._traces[key] = result.trace
+                self._store_trace(name, n_pes, result.trace)
         return self._cache[key]
 
     def trace(self, name: str, n_pes: int = 8) -> TraceBuffer:
-        trace = self.result(name, n_pes).trace
-        assert trace is not None
+        key = (name, n_pes)
+        trace = self._traces.get(key)
+        if trace is None:
+            trace = self._load_trace(name, n_pes)
+        if trace is None:
+            trace = self.result(name, n_pes).trace
+            assert trace is not None
+        self._traces[key] = trace
         return trace
+
+    def trace_path(self, name: str, n_pes: int = 8) -> Optional[Path]:
+        """Path of the cached trace file (materializing it if needed),
+        or None when the disk cache is disabled.  Lets
+        :func:`repro.analysis.parallel.run_sweep` ship the existing file
+        to workers instead of re-serializing the buffer."""
+        path = self._cache_path(name, n_pes)
+        if path is None:
+            return None
+        if not path.exists():
+            self._store_trace(name, n_pes, self.trace(name, n_pes))
+        return path if path.exists() else None
+
+    def _cache_path(self, name: str, n_pes: int) -> Optional[Path]:
+        root = trace_cache_dir()
+        if root is None:
+            return None
+        return root / (
+            f"v{TRACE_CACHE_VERSION}-{name}-{self.scale}-"
+            f"{n_pes}pe-seed{self.seed}.trace"
+        )
+
+    def _load_trace(self, name: str, n_pes: int) -> Optional[TraceBuffer]:
+        path = self._cache_path(name, n_pes)
+        if path is None or not path.exists():
+            return None
+        try:
+            return read_trace(path)
+        except (TraceFormatError, OSError, EOFError):
+            # A truncated or stale file is re-generated, never fatal.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _store_trace(self, name: str, n_pes: int, trace: TraceBuffer) -> None:
+        path = self._cache_path(name, n_pes)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(path.parent), prefix=path.name, suffix=".tmp"
+            )
+            os.close(fd)
+            write_trace(trace, tmp)
+            os.replace(tmp, path)  # atomic: readers never see a partial file
+        except OSError:
+            pass  # a read-only cache dir degrades to no caching
 
     def replay(
         self, name: str, config: SimulationConfig, n_pes: int = 8

@@ -15,6 +15,9 @@ Commands
     file against a chosen cache geometry.
 ``listing``
     Show the compiled abstract-machine code of a program.
+``bench``
+    Measure replay throughput and sweep wall time, writing
+    ``BENCH_replay.json``.
 """
 
 from __future__ import annotations
@@ -213,6 +216,25 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.analysis import bench
+
+    if args.repeats is not None and args.repeats < 1:
+        print("error: --repeats must be at least 1", file=sys.stderr)
+        return 2
+    if args.jobs is not None and args.jobs < 2:
+        print("error: --jobs must be at least 2 (the sweep is timed "
+              "against a serial jobs=1 run)", file=sys.stderr)
+        return 2
+    report = bench.run_bench(
+        quick=args.quick, jobs=args.jobs, repeats=args.repeats
+    )
+    print(bench.format_report(report))
+    path = bench.write_report(report, args.output)
+    print(f"benchmark report written: {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -280,6 +302,22 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--output", "-o",
                                help="write to a file instead of stdout")
     report_parser.set_defaults(handler=cmd_report)
+
+    bench_parser = commands.add_parser(
+        "bench", help="measure replay throughput and sweep wall time"
+    )
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="smaller workloads, no emulated trace "
+                                   "(CI smoke mode)")
+    bench_parser.add_argument("--jobs", type=int, default=None,
+                              help="worker count for the parallel sweep "
+                                   "(default: min(4, cpus), at least 2)")
+    bench_parser.add_argument("--repeats", type=int, default=None,
+                              help="repeats per measurement "
+                                   "(default: 5, or 3 with --quick)")
+    bench_parser.add_argument("--output", "-o", default="BENCH_replay.json",
+                              help="report path (default BENCH_replay.json)")
+    bench_parser.set_defaults(handler=cmd_bench)
 
     return parser
 

@@ -35,6 +35,13 @@ class Cache:
     Blocks are identified by their *block number* (word address divided
     by the block size); the caller performs that division once so hot
     paths never recompute it.
+
+    The directory is held twice: per-set buckets (``_sets``), which give
+    replacement its candidate list, and a flat ``block -> line`` map
+    (``_lines``) that probes hit with a single dict lookup — no set
+    index/tag arithmetic on the path taken by every reference.  The two
+    views share the same :class:`CacheLine` objects and are kept in step
+    by :meth:`insert`/:meth:`remove`/:meth:`flush`.
     """
 
     __slots__ = (
@@ -42,6 +49,7 @@ class Cache:
         "pe",
         "track_data",
         "_sets",
+        "_lines",
         "_set_mask",
         "_set_shift",
         "_tick",
@@ -52,13 +60,14 @@ class Cache:
         self.pe = pe
         self.track_data = track_data
         self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(config.n_sets)]
+        self._lines: Dict[int, CacheLine] = {}
         self._set_mask = config.n_sets - 1
         self._set_shift = config.n_sets.bit_length() - 1
         self._tick = 0
 
     def lookup(self, block: int) -> Optional[CacheLine]:
         """Return the valid line holding *block*, touching LRU, else None."""
-        line = self._sets[block & self._set_mask].get(block >> self._set_shift)
+        line = self._lines.get(block)
         if line is None:
             return None
         self._tick += 1
@@ -67,7 +76,7 @@ class Cache:
 
     def peek(self, block: int) -> Optional[CacheLine]:
         """Like :meth:`lookup` but without disturbing LRU (for snooping)."""
-        return self._sets[block & self._set_mask].get(block >> self._set_shift)
+        return self._lines.get(block)
 
     def insert(
         self, block: int, state: CacheState, area: int, data=None
@@ -77,23 +86,47 @@ class Cache:
         Returns ``(victim_block, victim_line)`` when a valid line had to
         be evicted, else ``None``.  The caller is responsible for any
         copyback the victim's state requires.
+
+        Every protocol path checks for a hit before filling, so an
+        insert of an already-resident block can only be a protocol bug;
+        silently overwriting the line would discard its state and dirty
+        data, corrupting the coherence accounting downstream.  Raises
+        ``ValueError`` instead.
         """
         index = block & self._set_mask
         tag = block >> self._set_shift
         bucket = self._sets[index]
+        if tag in bucket:
+            raise ValueError(
+                f"PE{self.pe}: block {block:#x} is already resident in "
+                f"state {bucket[tag].state.name}; call sites must miss "
+                "before inserting"
+            )
         victim = None
-        if tag not in bucket and len(bucket) >= self.config.associativity:
-            victim_tag = min(bucket, key=lambda t: bucket[t].lru)
+        if len(bucket) >= self.config.associativity:
+            # Explicit scan instead of min(key=...): no per-line lambda
+            # call on what is the hottest part of every cache miss.
+            victim_tag = victim_lru = None
+            for t, line in bucket.items():
+                if victim_lru is None or line.lru < victim_lru:
+                    victim_lru = line.lru
+                    victim_tag = t
             victim_line = bucket.pop(victim_tag)
             victim_block = (victim_tag << self._set_shift) | index
+            del self._lines[victim_block]
             victim = (victim_block, victim_line)
         self._tick += 1
-        bucket[tag] = CacheLine(tag, state, area, self._tick, data)
+        line = CacheLine(tag, state, area, self._tick, data)
+        bucket[tag] = line
+        self._lines[block] = line
         return victim
 
     def remove(self, block: int) -> Optional[CacheLine]:
         """Drop *block* (invalidate or purge).  Returns the removed line."""
-        return self._sets[block & self._set_mask].pop(block >> self._set_shift, None)
+        line = self._lines.pop(block, None)
+        if line is not None:
+            del self._sets[block & self._set_mask][block >> self._set_shift]
+        return line
 
     def block_of(self, line_index: int, tag: int) -> int:
         """Reconstruct a block number from set index and tag."""
@@ -107,12 +140,13 @@ class Cache:
 
     def occupancy(self) -> int:
         """Number of valid lines currently resident."""
-        return sum(len(bucket) for bucket in self._sets)
+        return len(self._lines)
 
     def flush(self) -> None:
         """Invalidate every line (used around garbage collection)."""
         for bucket in self._sets:
             bucket.clear()
+        self._lines.clear()
 
     def __repr__(self) -> str:
         return (

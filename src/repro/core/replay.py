@@ -13,12 +13,15 @@ the system re-enacts the LH response and UL broadcast from it.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Iterable, Optional
 
 from repro.core.config import SimulationConfig
+from repro.core.states import CacheState
 from repro.core.stats import SystemStats
-from repro.core.system import BLOCKED, PIMCacheSystem
+from repro.core.system import BLOCKED, N_AREAS, N_OPS, PIMCacheSystem
 from repro.trace.buffer import TraceBuffer
+from repro.trace.events import Op
 
 
 def replay(
@@ -30,14 +33,153 @@ def replay(
     if config is None:
         config = SimulationConfig()
     system = PIMCacheSystem(config, n_pes if n_pes is not None else buffer.n_pes)
-    access = system.access
-    for pe, op, area, addr, flags in buffer:
-        cycles, _, _ = access(pe, op, area, addr, 0, flags)
-        if cycles == BLOCKED:  # pragma: no cover - impossible in valid traces
-            raise RuntimeError(
-                f"replay blocked on PE{pe} op={op} addr={addr:#x}: "
-                "the trace's global order should already serialize locks"
-            )
+    # Hot loop: dispatch straight off the system's handler table instead
+    # of going through :meth:`PIMCacheSystem.access`, folding the
+    # per-reference bookkeeping into the loop.  Two access() duties are
+    # restructured wholesale rather than mirrored per reference:
+    #
+    # * ``stats.refs[area][op]`` is a pure histogram of the trace (a
+    #   blocked reference raises instead of retrying), so it is tallied
+    #   once after the loop via ``Counter`` at C speed;
+    # * ``_waiting`` can only gain entries when a handler reports
+    #   BLOCKED, which raises here, so the busy-wait clearing in
+    #   ``access`` has nothing to clear and is dropped.
+    #
+    # Any other change to ``access`` needs a matching change here.
+    table = system._op_table
+    waiting = system._waiting
+    shift = system._block_shift
+    pe_col, op_col, area_col, addr_col, flags_col = buffer.columns()
+    if len(buffer) and not (
+        0 <= min(op_col) <= max(op_col) < N_OPS
+        and 0 <= min(area_col) <= max(area_col) < N_AREAS
+    ):
+        raise ValueError("trace contains an out-of-range op or area code")
+    caches = system.caches
+    if caches and not system.track_data:
+        # The bus-free hit paths carry the bulk of every workload, so
+        # they are inlined here — probe + LRU touch + counters, exactly
+        # as in the corresponding handlers — to skip the handler call:
+        #
+        # * ``_read`` hits (and any op the dispatch table demoted to R),
+        # * ``_exclusive_read`` hits on a non-last word,
+        # * ``_write``/``_direct_write`` hits on an EM/EC block (the
+        #   demoted-DW counter included), copyback protocols only.
+        #
+        # Everything else — all misses, shared-state writes, the
+        # read-then-purge of an ER on a block's last word, write-through
+        # stores — falls through to the dispatch table.
+        # Per-PE probe methods are bound once (the ``_lines`` dicts are
+        # never rebound, only mutated in place).
+        #
+        # LRU stamps come from one shared local counter instead of the
+        # per-cache ``_tick``s: replacement only compares stamps within
+        # a single cache, and a counter that is strictly increasing
+        # across *all* touch events preserves every within-cache touch
+        # order, so victim selection is unchanged.  The counter is
+        # synced into ``cache._tick`` before each handler call (the
+        # handler stamps through lookup()/insert() on the requesting
+        # PE's cache only) and read back after, keeping it above every
+        # stamp already issued.
+        probes = [cache._lines.get for cache in caches]
+        gtick = max(cache._tick for cache in caches)
+        # Plain-R hits and their PE cycles are tallied into flat local
+        # lists (one subscript instead of two) and folded into the
+        # system's arrays after the loop; addition commutes with the
+        # handlers' own increments, and an aborted replay discards the
+        # stats object anyway.
+        r_hits = [0] * N_AREAS
+        r_cycles = [0] * len(caches)
+        hits = system._hits
+        pe_cycles = system._pe_cycles
+        block_mask = system._block_mask
+        stats = system.stats
+        EM = CacheState.EM
+        EC = CacheState.EC
+        # Handler handles must come from the table: ``system._read``
+        # would create a fresh bound-method object that is equal to but
+        # not identical with the table cells.  A ``None`` handle simply
+        # never matches (``handler is None`` cannot fire).
+        read_h = table[Op.R][0]
+        er_h = next((h for h in table[Op.ER] if h is not read_h), None)
+        if system._write_through:
+            write_h = dw_h = None
+        else:
+            write_h = table[Op.W][0]
+            dw_h = next((h for h in table[Op.DW] if h is not write_h), None)
+        for pe, op, area, addr, flags in zip(
+            pe_col, op_col, area_col, addr_col, flags_col
+        ):
+            block = addr >> shift
+            # ``op == 0`` (plain R, every table cell is ``read_h``)
+            # short-cuts both the double table subscript and the handler
+            # identity test for the most common op.
+            if op == 0:
+                line = probes[pe](block)
+                if line is not None:
+                    gtick += 1
+                    line.lru = gtick
+                    r_hits[area] += 1
+                    r_cycles[pe] += 1
+                    continue
+                handler = read_h
+            else:
+                handler = table[op][area]
+                if handler is read_h or (
+                    handler is er_h and (addr & block_mask) != block_mask
+                ):
+                    line = probes[pe](block)
+                    if line is not None:
+                        gtick += 1
+                        line.lru = gtick
+                        hits[area][op] += 1
+                        pe_cycles[pe] += 1
+                        continue
+                elif handler is dw_h or handler is write_h:
+                    line = probes[pe](block)
+                    if line is not None:
+                        state = line.state
+                        if state is EM or state is EC:
+                            if handler is dw_h:
+                                stats.dw_demotions += 1
+                            gtick += 1
+                            line.lru = gtick
+                            line.state = EM
+                            hits[area][op] += 1
+                            pe_cycles[pe] += 1
+                            continue
+            cache = caches[pe]
+            cache._tick = gtick
+            result = handler(pe, op, area, addr, block, 0, flags)
+            gtick = cache._tick
+            if result[0] == BLOCKED:  # pragma: no cover - traces never block
+                raise RuntimeError(
+                    f"replay blocked on PE{pe} op={op} addr={addr:#x}: "
+                    "the trace's global order should already serialize locks"
+                )
+            if waiting:  # pragma: no cover - see note above
+                waiting.pop(pe, None)
+        for cache in caches:
+            cache._tick = gtick
+        for area, count in enumerate(r_hits):
+            hits[area][0] += count
+        for pe, count in enumerate(r_cycles):
+            pe_cycles[pe] += count
+    else:
+        for pe, op, area, addr, flags in zip(
+            pe_col, op_col, area_col, addr_col, flags_col
+        ):
+            result = table[op][area](pe, op, area, addr, addr >> shift, 0, flags)
+            if result[0] == BLOCKED:  # pragma: no cover - traces never block
+                raise RuntimeError(
+                    f"replay blocked on PE{pe} op={op} addr={addr:#x}: "
+                    "the trace's global order should already serialize locks"
+                )
+            if waiting:  # pragma: no cover - see note above
+                waiting.pop(pe, None)
+    refs = system.stats.refs
+    for (area, op), count in Counter(zip(area_col, op_col)).items():
+        refs[area][op] += count
     return system.stats
 
 

@@ -97,6 +97,75 @@ class SystemStats:
         self.pe_cycles = [0] * n_pes
 
     # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    #: Scalar counters combined by summation in :meth:`merge`.
+    _SUM_FIELDS = (
+        "dw_allocations",
+        "dw_demotions",
+        "er_demotions",
+        "purges_clean",
+        "purges_dirty",
+        "supplier_invalidations",
+        "ri_exclusive_fetches",
+        "lr_no_bus",
+        "lr_bus",
+        "lh_responses",
+        "unlocks_no_waiter",
+        "unlocks_with_waiter",
+        "spurious_unlocks",
+        "lock_dir_overflows",
+        "swap_ins",
+        "swap_outs",
+        "c2c_transfers",
+        "memory_busy_cycles",
+    )
+
+    def merge(self, other: "SystemStats") -> "SystemStats":
+        """Accumulate *other*'s counters into this instance (returns self).
+
+        The merge treats the two runs as sequentially composed work on
+        the same machine: counters and cycle totals add, per-PE clocks
+        add element-wise (shorter vectors are zero-padded), and the lock
+        directory high-water mark takes the maximum.  This is how sweep
+        shards replayed in separate worker processes — one
+        :class:`SystemStats` per trace — are folded into an aggregate.
+        """
+        for a in range(N_AREAS):
+            for o in range(N_OPS):
+                self.refs[a][o] += other.refs[a][o]
+                self.hits[a][o] += other.hits[a][o]
+            self.bus_cycles_by_area[a] += other.bus_cycles_by_area[a]
+        for p in range(N_PATTERNS):
+            self.pattern_counts[p] += other.pattern_counts[p]
+            self.pattern_cycles[p] += other.pattern_cycles[p]
+        for c in range(N_COMMANDS):
+            self.command_counts[c] += other.command_counts[c]
+        for name in self._SUM_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.lock_dir_max_occupancy = max(
+            self.lock_dir_max_occupancy, other.lock_dir_max_occupancy
+        )
+        if other.n_pes > self.n_pes:
+            # Extend in place: live systems hold aliases into this list.
+            self.pe_cycles.extend([0] * (other.n_pes - self.n_pes))
+            self.n_pes = other.n_pes
+        for pe, cycles in enumerate(other.pe_cycles):
+            self.pe_cycles[pe] += cycles
+        return self
+
+    @classmethod
+    def merged(cls, parts: "list[SystemStats]") -> "SystemStats":
+        """Fold a list of stats into one aggregate (see :meth:`merge`)."""
+        if not parts:
+            raise ValueError("cannot merge an empty list of stats")
+        total = cls(parts[0].n_pes)
+        for part in parts:
+            total.merge(part)
+        return total
+
+    # ------------------------------------------------------------------
     # Derived measures
     # ------------------------------------------------------------------
 

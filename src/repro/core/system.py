@@ -46,7 +46,7 @@ from repro.core.states import (
     LockState,
 )
 from repro.core.stats import SystemStats
-from repro.trace.events import FLAG_LOCK_CONTENDED, Op
+from repro.trace.events import FLAG_LOCK_CONTENDED, Area, Op
 
 #: Sentinel returned by :meth:`PIMCacheSystem.access` when the reference
 #: is inhibited by a remote lock and the PE must busy-wait and retry.
@@ -57,9 +57,56 @@ AccessResult = Tuple[int, int, Optional[int]]
 
 _EXCLUSIVE = (CacheState.EM, CacheState.EC)
 
+N_OPS = len(Op)
+N_AREAS = len(Area)
+
+#: Shared hit result for the no-data-tracking fast path (avoids one tuple
+#: allocation per cache hit on the replay hot loop).
+_HIT = (1, 0, None)
+
+# Pre-resolved enum members for the miss paths: attribute access on an
+# Enum class costs ~130ns per lookup, which adds up at one command and
+# one or two pattern lookups per miss.
+_F, _FI, _I = BusCommand.F, BusCommand.FI, BusCommand.I
+_INVALIDATION = BusPattern.INVALIDATION
+_C2C = BusPattern.C2C
+_C2C_WITH_SWAP_OUT = BusPattern.C2C_WITH_SWAP_OUT
+_SWAP_IN = BusPattern.SWAP_IN
+_SWAP_IN_WITH_SWAP_OUT = BusPattern.SWAP_IN_WITH_SWAP_OUT
+_EM, _EC, _SM, _S = CacheState.EM, CacheState.EC, CacheState.SM, CacheState.S
+
+#: Shared empty remote-holder list: callers only iterate or truth-test
+#: the result, so misses on unshared blocks avoid a list allocation.
+_NO_REMOTES: "list[int]" = []
+
 
 class PIMCacheSystem:
     """Snooping five-state cache system for ``n_pes`` processing elements."""
+
+    __slots__ = (
+        "config",
+        "n_pes",
+        "track_data",
+        "caches",
+        "lock_directories",
+        "stats",
+        "memory",
+        "_holders",
+        "_locked_words",
+        "_waiting",
+        "_block_words",
+        "_block_mask",
+        "_block_shift",
+        "_illinois",
+        "_write_through",
+        "_write_update",
+        "_mem_cycles",
+        "_pattern_cost",
+        "_op_table",
+        "_hits",
+        "_pe_cycles",
+        "bus_free_at",
+    )
 
     def __init__(self, config: SimulationConfig, n_pes: int):
         if n_pes < 1:
@@ -74,6 +121,11 @@ class PIMCacheSystem:
             LockDirectory(pe, config.lock_entries) for pe in range(n_pes)
         ]
         self.stats = SystemStats(n_pes)
+        # Aliases of the two per-reference stat arrays, saving one
+        # attribute hop on every cache hit (the stats object itself is
+        # never replaced, so the aliases cannot go stale).
+        self._hits = self.stats.hits
+        self._pe_cycles = self.stats.pe_cycles
         #: Shared memory image (word address -> value); populated lazily.
         self.memory: Dict[int, int] = {}
         # --- simulator accelerators (not architectural state) ---
@@ -97,6 +149,37 @@ class PIMCacheSystem:
         ]
         #: Global bus timeline: the cycle at which the bus next frees up.
         self.bus_free_at = 0
+        # Handler dispatch, indexed ``_op_table[op][area]``.  Demotion of
+        # optimized commands the controller does not honour is folded into
+        # the table (the plain R/W handler is installed directly), so the
+        # hot path never consults ``opts.honours``.  All handlers share the
+        # signature ``(pe, sop, area, address, block, value, flags)``.
+        honours = config.opts.honours
+        # Bind each handler exactly once: every ``self._read`` access
+        # creates a *new* bound-method object, and replay's inlined fast
+        # path identifies handlers by identity (``handler is read``), so
+        # all table cells for one handler must share one object.
+        read, write = self._read, self._write
+        direct_write, exclusive_read = self._direct_write, self._exclusive_read
+        read_purge, read_invalidate = self._read_purge, self._read_invalidate
+        per_op = {
+            Op.R: lambda area: read,
+            Op.W: lambda area: write,
+            Op.LR: lambda area: self._lock_read,
+            Op.UW: lambda area: self._unlock_write,
+            Op.U: lambda area: self._unlock_plain,
+            Op.DW: lambda area: (direct_write if honours(Op.DW, area) else write),
+            Op.ER: lambda area: (
+                exclusive_read if honours(Op.ER, area) else read
+            ),
+            Op.RP: lambda area: (read_purge if honours(Op.RP, area) else read),
+            Op.RI: lambda area: (
+                read_invalidate if honours(Op.RI, area) else read
+            ),
+        }
+        self._op_table = [
+            [per_op[op](area) for area in Area] for op in Op
+        ]
 
     # ------------------------------------------------------------------
     # Public API
@@ -113,43 +196,15 @@ class PIMCacheSystem:
         read_value)``; ``cycles`` is :data:`BLOCKED` when the PE must
         busy-wait and retry the same reference.
         """
-        block = address >> self._block_shift
-        if op == Op.R:
-            result = self._read(pe, op, area, address, block)
-        elif op == Op.W:
-            result = self._write(pe, op, area, address, block, value)
-        elif op == Op.DW:
-            if self.config.opts.honours(op, area):
-                result = self._direct_write(pe, op, area, address, block, value)
-            else:
-                result = self._write(pe, op, area, address, block, value)
-        elif op == Op.ER:
-            if self.config.opts.honours(op, area):
-                result = self._exclusive_read(pe, op, area, address, block)
-            else:
-                result = self._read(pe, op, area, address, block)
-        elif op == Op.RP:
-            if self.config.opts.honours(op, area):
-                result = self._read_purge(pe, op, area, address, block)
-            else:
-                result = self._read(pe, op, area, address, block)
-        elif op == Op.RI:
-            if self.config.opts.honours(op, area):
-                result = self._read_invalidate(pe, op, area, address, block)
-            else:
-                result = self._read(pe, op, area, address, block)
-        elif op == Op.LR:
-            result = self._lock_read(pe, op, area, address, block, flags)
-        elif op == Op.UW:
-            result = self._unlock(pe, op, area, address, block, True, value, flags)
-        elif op == Op.U:
-            result = self._unlock(pe, op, area, address, block, False, value, flags)
-        else:
+        if not 0 <= op < N_OPS:
             raise ValueError(f"unknown memory operation {op!r}")
-
+        result = self._op_table[op][area](
+            pe, op, area, address, address >> self._block_shift, value, flags
+        )
         if result[0] != BLOCKED:
             self.stats.refs[area][op] += 1
-            self._waiting.pop(pe, None)
+            if self._waiting:
+                self._waiting.pop(pe, None)
         return result
 
     def is_waiting(self, pe: int) -> bool:
@@ -180,6 +235,15 @@ class PIMCacheSystem:
                         self._writeback(block, line)
             cache.flush()
         self._holders.clear()
+        # Locks are architecturally separate from the cache directory, but
+        # a flush happens around stop-and-copy GC: the heap has been
+        # relocated, so any held lock addresses to the old image are dead.
+        # Dropping them here prevents phantom LH-inhibiting entries (and
+        # stranded busy-waiters) from outliving the flush.
+        self._locked_words.clear()
+        self._waiting.clear()
+        for directory in self.lock_directories:
+            directory.entries.clear()
         return written
 
     def check_invariants(self) -> None:
@@ -227,6 +291,25 @@ class PIMCacheSystem:
             assert block in by_block, (
                 f"block {block:#x}: presence map lists {holders}, caches have none"
             )
+        # The locked-word map (the bus's LH snoop accelerator) must agree
+        # with the per-PE lock directories in both directions.
+        for block, entries in self._locked_words.items():
+            assert entries, f"block {block:#x}: empty locked-word list left behind"
+            for owner, address in entries:
+                assert address >> self._block_shift == block, (
+                    f"locked word {address:#x} filed under block {block:#x}"
+                )
+                assert self.lock_directories[owner].holds(address), (
+                    f"word {address:#x}: locked-word map says PE{owner} holds "
+                    "it, but its lock directory has no entry"
+                )
+        for pe, directory in enumerate(self.lock_directories):
+            for address in directory.entries:
+                entries = self._locked_words.get(address >> self._block_shift, [])
+                assert (pe, address) in entries, (
+                    f"word {address:#x}: PE{pe}'s lock directory holds it, "
+                    "but the locked-word map has no matching entry"
+                )
 
     # ------------------------------------------------------------------
     # Bus and bookkeeping helpers
@@ -239,17 +322,18 @@ class PIMCacheSystem:
         stats.pattern_counts[pattern] += 1
         stats.pattern_cycles[pattern] += cycles
         stats.bus_cycles_by_area[area] += cycles
-        start = stats.pe_cycles[pe] + 1
+        pe_cycles = self._pe_cycles
+        start = pe_cycles[pe] + 1
         if start < self.bus_free_at:
             start = self.bus_free_at
         end = start + cycles
         self.bus_free_at = end
-        stats.pe_cycles[pe] = end
+        pe_cycles[pe] = end
         return cycles
 
     def _no_bus(self, pe: int) -> int:
         """Advance the PE clock for a bus-free access (cache hit)."""
-        self.stats.pe_cycles[pe] += 1
+        self._pe_cycles[pe] += 1
         return 1
 
     def _writeback(self, block: int, line) -> None:
@@ -278,7 +362,11 @@ class PIMCacheSystem:
         """Insert a block, evicting as needed.  Returns True if the victim
         was dirty (a swap-out rides on this bus transaction)."""
         victim = self.caches[pe].insert(block, state, area, data)
-        self._holders.setdefault(block, set()).add(pe)
+        holders = self._holders.get(block)
+        if holders is None:
+            self._holders[block] = {pe}
+        else:
+            holders.add(pe)
         if victim is None:
             return False
         victim_block, victim_line = victim
@@ -289,27 +377,45 @@ class PIMCacheSystem:
             return True
         return False
 
-    def _remote_holders(self, pe: int, block: int) -> List[int]:
+    def _remote_holders(self, pe: int, block: int) -> "list[int]":
         holders = self._holders.get(block)
         if not holders:
-            return []
+            return _NO_REMOTES
         return [other for other in holders if other != pe]
 
     def _pick_supplier(self, block: int, remotes: List[int]):
         """Choose the supplying cache for a cache-to-cache transfer,
         preferring the owner (a dirty copy) when one exists."""
-        chosen_pe = remotes[0]
-        chosen_line = self.caches[chosen_pe].peek(block)
+        caches = self.caches
+        first_line = None
         for other in remotes:
-            line = self.caches[other].peek(block)
+            # Inlined Cache.peek: one call per remote adds up when every
+            # miss is served cache-to-cache.
+            cache = caches[other]
+            line = cache._lines.get(block)
             if line.state in DIRTY_STATES:
                 return other, line
-        return chosen_pe, chosen_line
+            if first_line is None:
+                first_line = line
+        return remotes[0], first_line
 
-    def _invalidate_remotes(self, pe: int, block: int) -> None:
-        for other in self._remote_holders(pe, block):
-            self.caches[other].remove(block)
-            self._drop_holder(block, other)
+    def _invalidate_remotes(
+        self, pe: int, block: int, remotes: Optional[List[int]] = None
+    ) -> None:
+        """Remove every remote copy of *block*; callers that already
+        computed the remote-holder list pass it to avoid a recompute."""
+        if remotes is None:
+            remotes = self._remote_holders(pe, block)
+        if not remotes:
+            return
+        caches = self.caches
+        for other in remotes:
+            caches[other].remove(block)
+        holders = self._holders.get(block)
+        if holders is not None:
+            holders.difference_update(remotes)
+            if not holders:
+                del self._holders[block]
 
     def _check_locks(self, pe: int, area: int, block: int) -> bool:
         """True when a bus request by *pe* to *block* is inhibited by a
@@ -330,7 +436,7 @@ class PIMCacheSystem:
             self.stats.lh_responses += 1
             # The aborted request occupied the bus for its address cycle
             # and the LH response; busy-wait itself uses no bus cycles.
-            self._bus(pe, BusPattern.INVALIDATION, area)
+            self._bus(pe, _INVALIDATION, area)
         else:
             self.stats.pe_cycles[pe] += 1  # one spin cycle
         return True
@@ -338,18 +444,33 @@ class PIMCacheSystem:
     # ------------------------------------------------------------------
     # Operation handlers.  ``sop`` is the operation as issued by software
     # (before any demotion) so the statistics reflect Table 3's view.
+    # All handlers share the dispatch-table signature
+    # ``(pe, sop, area, address, block, value, flags)``; the hit paths of
+    # ``_read`` and ``_write`` are hand-hoisted (locals instead of
+    # repeated attribute chains, ``_no_bus`` inlined) because they carry
+    # the bulk of every trace replay.
     # ------------------------------------------------------------------
 
-    def _read(self, pe: int, sop: int, area: int, address: int, block: int) -> AccessResult:
-        line = self.caches[pe].lookup(block)
+    def _read(
+        self, pe: int, sop: int, area: int, address: int, block: int,
+        value: int = 0, flags: int = 0,
+    ) -> AccessResult:
+        cache = self.caches[pe]
+        # Inlined Cache.lookup (dict probe + LRU touch): this is the
+        # single hottest line of a trace replay.
+        line = cache._lines.get(block)
         if line is not None:
-            self.stats.hits[area][sop] += 1
-            self._no_bus(pe)
-            value = line.data[address & self._block_mask] if self.track_data else None
-            return (1, 0, value)
-        if self._check_locks(pe, area, block):
+            cache._tick += 1
+            line.lru = cache._tick
+            self._hits[area][sop] += 1
+            self._pe_cycles[pe] += 1
+            if self.track_data:
+                return (1, 0, line.data[address & self._block_mask])
+            return _HIT
+        if self._locked_words and self._check_locks(pe, area, block):
             return (BLOCKED, 0, None)
-        self.stats.command_counts[BusCommand.F] += 1
+        stats = self.stats
+        stats.command_counts[_F] += 1
         remotes = self._remote_holders(pe, block)
         if remotes:
             supplier_pe, supplier = self._pick_supplier(block, remotes)
@@ -357,25 +478,25 @@ class PIMCacheSystem:
             if supplier.state in DIRTY_STATES and self._illinois:
                 # Illinois: dirty data is copied back to memory during the
                 # transfer; everybody ends up clean.
-                self.stats.swap_outs += 1
+                stats.swap_outs += 1
                 self._writeback(block, supplier)
                 supplier.state = CacheState.S
             elif supplier.state == CacheState.EM:
                 supplier.state = CacheState.SM
             elif supplier.state == CacheState.EC:
                 supplier.state = CacheState.S
-            self.stats.c2c_transfers += 1
+            stats.c2c_transfers += 1
             victim_dirty = self._fill(pe, block, CacheState.S, area, data)
             pattern = (
-                BusPattern.C2C_WITH_SWAP_OUT if victim_dirty else BusPattern.C2C
+                _C2C_WITH_SWAP_OUT if victim_dirty else _C2C
             )
         else:
             data = self._memory_read(block)
             victim_dirty = self._fill(pe, block, CacheState.EC, area, data)
             pattern = (
-                BusPattern.SWAP_IN_WITH_SWAP_OUT
+                _SWAP_IN_WITH_SWAP_OUT
                 if victim_dirty
-                else BusPattern.SWAP_IN
+                else _SWAP_IN
             )
         cycles = self._bus(pe, pattern, area)
         value = None
@@ -385,34 +506,40 @@ class PIMCacheSystem:
         return (cycles, 0, value)
 
     def _write(
-        self, pe: int, sop: int, area: int, address: int, block: int, value: int
+        self, pe: int, sop: int, area: int, address: int, block: int,
+        value: int = 0, flags: int = 0,
     ) -> AccessResult:
         if self._write_through:
             return self._write_through_store(pe, sop, area, address, block, value)
-        line = self.caches[pe].lookup(block)
+        cache = self.caches[pe]
+        # Inlined Cache.lookup, as in _read.
+        line = cache._lines.get(block)
         if line is not None:
+            cache._tick += 1
+            line.lru = cache._tick
             state = line.state
-            if state == CacheState.EM or state == CacheState.EC:
-                line.state = CacheState.EM
-                self.stats.hits[area][sop] += 1
+            if state is _EM or state is _EC:
+                line.state = _EM
+                self._hits[area][sop] += 1
+                self._pe_cycles[pe] += 1
                 if self.track_data:
                     line.data[address & self._block_mask] = value
-                self._no_bus(pe)
-                return (1, 0, None)
+                return _HIT
+            stats = self.stats
             # S or SM: the block is *perhaps* shared — an I broadcast is
             # mandatory even if no copy actually exists elsewhere.
-            if self._check_locks(pe, area, block):
+            if self._locked_words and self._check_locks(pe, area, block):
                 return (BLOCKED, 0, None)
-            self.stats.hits[area][sop] += 1
+            stats.hits[area][sop] += 1
             self._invalidate_remotes(pe, block)
             line.state = CacheState.EM
             if self.track_data:
                 line.data[address & self._block_mask] = value
-            self.stats.command_counts[BusCommand.I] += 1
-            cycles = self._bus(pe, BusPattern.INVALIDATION, area)
+            stats.command_counts[_I] += 1
+            cycles = self._bus(pe, _INVALIDATION, area)
             return (cycles, 0, None)
         # Write miss: fetch-on-write via FI.
-        if self._check_locks(pe, area, block):
+        if self._locked_words and self._check_locks(pe, area, block):
             return (BLOCKED, 0, None)
         cycles = self._fetch_exclusive(pe, area, block, CacheState.EM)
         if self.track_data:
@@ -427,7 +554,7 @@ class PIMCacheSystem:
         variant remote copies are killed; under the *update* variant they
         are patched in place (a broadcast write), so blocks are never
         dirty and sharers persist."""
-        if self._check_locks(pe, area, block):
+        if self._locked_words and self._check_locks(pe, area, block):
             return (BLOCKED, 0, None)
         line = self.caches[pe].lookup(block)
         if line is not None:
@@ -465,7 +592,7 @@ class PIMCacheSystem:
         else EC" (used by LR / RI, whose write may be silent later).
         Returns the bus cycles charged.
         """
-        self.stats.command_counts[BusCommand.FI] += 1
+        self.stats.command_counts[_FI] += 1
         remotes = self._remote_holders(pe, block)
         if remotes:
             supplier_pe, supplier = self._pick_supplier(block, remotes)
@@ -475,7 +602,7 @@ class PIMCacheSystem:
                 self.stats.swap_outs += 1
                 self._writeback(block, supplier)
                 dirty = False
-            self._invalidate_remotes(pe, block)
+            self._invalidate_remotes(pe, block, remotes)
             self.stats.c2c_transfers += 1
             if final_state is None:
                 final_state = CacheState.EM if dirty else CacheState.EC
@@ -483,7 +610,7 @@ class PIMCacheSystem:
                 final_state = CacheState.EM
             victim_dirty = self._fill(pe, block, final_state, area, data)
             pattern = (
-                BusPattern.C2C_WITH_SWAP_OUT if victim_dirty else BusPattern.C2C
+                _C2C_WITH_SWAP_OUT if victim_dirty else _C2C
             )
         else:
             data = self._memory_read(block)
@@ -491,26 +618,43 @@ class PIMCacheSystem:
                 final_state = CacheState.EC
             victim_dirty = self._fill(pe, block, final_state, area, data)
             pattern = (
-                BusPattern.SWAP_IN_WITH_SWAP_OUT
+                _SWAP_IN_WITH_SWAP_OUT
                 if victim_dirty
-                else BusPattern.SWAP_IN
+                else _SWAP_IN
             )
         return self._bus(pe, pattern, area)
 
     def _direct_write(
-        self, pe: int, sop: int, area: int, address: int, block: int, value: int
+        self, pe: int, sop: int, area: int, address: int, block: int,
+        value: int = 0, flags: int = 0,
     ) -> AccessResult:
-        if address & self._block_mask:
-            # Not a block boundary: the controller replaces DW with W.
+        cache = self.caches[pe]
+        # Inlined Cache.peek (no LRU touch, matching the original).
+        line = cache._lines.get(block)
+        if line is not None:
+            # Already resident — an ordinary write hit, demoted to W
+            # whether or not the address is a block boundary.  The
+            # dominant DW outcome is re-writing a block this PE already
+            # owns, so the EM/EC write hit is finished inline rather
+            # than paying a second probe inside ``_write``; the
+            # shared/write-through cases still take the full path.
             self.stats.dw_demotions += 1
+            state = line.state
+            if not self._write_through and (state is _EM or state is _EC):
+                cache._tick += 1
+                line.lru = cache._tick
+                line.state = CacheState.EM
+                self._hits[area][sop] += 1
+                self._pe_cycles[pe] += 1
+                if self.track_data:
+                    line.data[address & self._block_mask] = value
+                return _HIT
             return self._write(pe, sop, area, address, block, value)
-        if self.caches[pe].peek(block) is not None:
-            # Already resident — an ordinary write hit.
-            self.stats.dw_demotions += 1
-            return self._write(pe, sop, area, address, block, value)
-        if self._remote_holders(pe, block):
-            # The software contract ("no remote copy") is violated;
-            # demote rather than break coherence.
+        if (address & self._block_mask) or self._holders.get(block):
+            # Demote: either not a block boundary (the controller
+            # replaces DW with W) or a remote copy exists, violating the
+            # software contract ("no remote copy") — demote rather than
+            # break coherence.
             self.stats.dw_demotions += 1
             return self._write(pe, sop, area, address, block, value)
         # Allocate without fetching: zero bus cycles unless a dirty
@@ -530,7 +674,8 @@ class PIMCacheSystem:
         if victim_dirty:
             cycles = self._bus(pe, BusPattern.SWAP_OUT_ONLY, area)
             return (cycles, 0, None)
-        return (self._no_bus(pe), 0, None)
+        self.stats.pe_cycles[pe] += 1
+        return _HIT
 
     def _purge(self, pe: int, area: int, block: int, line) -> None:
         """Forcibly drop a local block; a dirty purge is a swap-out avoided."""
@@ -542,23 +687,28 @@ class PIMCacheSystem:
             self.stats.purges_clean += 1
 
     def _exclusive_read(
-        self, pe: int, sop: int, area: int, address: int, block: int
+        self, pe: int, sop: int, area: int, address: int, block: int,
+        value: int = 0, flags: int = 0,
     ) -> AccessResult:
         last_word = (address & self._block_mask) == self._block_mask
-        line = self.caches[pe].lookup(block)
+        cache = self.caches[pe]
+        # Inlined Cache.lookup, as in _read.
+        line = cache._lines.get(block)
         if line is not None:
+            cache._tick += 1
+            line.lru = cache._tick
             # Case (ii): hit on the last word — read, then purge (RP).
             self.stats.hits[area][sop] += 1
             value = line.data[address & self._block_mask] if self.track_data else None
             if last_word:
                 self._purge(pe, area, block, line)
-            self._no_bus(pe)
+            self.stats.pe_cycles[pe] += 1
             return (1, 0, value)
         remotes = self._remote_holders(pe, block)
         if remotes and not last_word:
             # Case (i): read invalidate — cache-to-cache transfer after
             # which the supplier's copy is invalidated.
-            if self._check_locks(pe, area, block):
+            if self._locked_words and self._check_locks(pe, area, block):
                 return (BLOCKED, 0, None)
             self.stats.supplier_invalidations += 1
             cycles = self._fetch_exclusive(pe, area, block, None)
@@ -571,7 +721,8 @@ class PIMCacheSystem:
         return self._read(pe, sop, area, address, block)
 
     def _read_purge(
-        self, pe: int, sop: int, area: int, address: int, block: int
+        self, pe: int, sop: int, area: int, address: int, block: int,
+        value: int = 0, flags: int = 0,
     ) -> AccessResult:
         line = self.caches[pe].lookup(block)
         if line is not None:
@@ -581,13 +732,13 @@ class PIMCacheSystem:
             self._purge(pe, area, block, line)
             self._no_bus(pe)
             return (1, 0, value)
-        if self._check_locks(pe, area, block):
+        if self._locked_words and self._check_locks(pe, area, block):
             return (BLOCKED, 0, None)
         remotes = self._remote_holders(pe, block)
         if remotes:
             # Case (ii): supplier invalidated after the transfer; the
             # fetched block is consumed without being allocated.
-            self.stats.command_counts[BusCommand.FI] += 1
+            self.stats.command_counts[_FI] += 1
             supplier_pe, supplier = self._pick_supplier(block, remotes)
             data = list(supplier.data) if self.track_data else None
             if supplier.state in DIRTY_STATES:
@@ -597,22 +748,23 @@ class PIMCacheSystem:
                 self.stats.purges_dirty += 1
             else:
                 self.stats.purges_clean += 1
-            self._invalidate_remotes(pe, block)
+            self._invalidate_remotes(pe, block, remotes)
             self.stats.supplier_invalidations += 1
             self.stats.c2c_transfers += 1
-            cycles = self._bus(pe, BusPattern.C2C, area)
+            cycles = self._bus(pe, _C2C, area)
             value = data[address & self._block_mask] if self.track_data else None
             return (cycles, 0, value)
         # Miss with no remote copy: read through shared memory, nothing
         # to purge or allocate.
-        self.stats.command_counts[BusCommand.F] += 1
+        self.stats.command_counts[_F] += 1
         data = self._memory_read(block)
-        cycles = self._bus(pe, BusPattern.SWAP_IN, area)
+        cycles = self._bus(pe, _SWAP_IN, area)
         value = data[address & self._block_mask] if self.track_data else None
         return (cycles, 0, value)
 
     def _read_invalidate(
-        self, pe: int, sop: int, area: int, address: int, block: int
+        self, pe: int, sop: int, area: int, address: int, block: int,
+        value: int = 0, flags: int = 0,
     ) -> AccessResult:
         line = self.caches[pe].lookup(block)
         if line is not None:
@@ -622,7 +774,7 @@ class PIMCacheSystem:
             self._no_bus(pe)
             value = line.data[address & self._block_mask] if self.track_data else None
             return (1, 0, value)
-        if self._check_locks(pe, area, block):
+        if self._locked_words and self._check_locks(pe, area, block):
             return (BLOCKED, 0, None)
         self.stats.ri_exclusive_fetches += 1
         cycles = self._fetch_exclusive(pe, area, block, None)
@@ -636,14 +788,14 @@ class PIMCacheSystem:
     # ------------------------------------------------------------------
 
     def _register_lock(self, pe: int, address: int, block: int) -> None:
-        self.lock_directories[pe].lock(address)
-        self._locked_words.setdefault(block, []).append((pe, address))
         directory = self.lock_directories[pe]
-        if directory.max_occupancy > self.stats.lock_dir_max_occupancy:
-            self.stats.lock_dir_max_occupancy = directory.max_occupancy
-        self.stats.lock_dir_overflows = sum(
-            d.overflows for d in self.lock_directories
-        )
+        overflows_before = directory.overflows
+        directory.lock(address)
+        self._locked_words.setdefault(block, []).append((pe, address))
+        stats = self.stats
+        if directory.max_occupancy > stats.lock_dir_max_occupancy:
+            stats.lock_dir_max_occupancy = directory.max_occupancy
+        stats.lock_dir_overflows += directory.overflows - overflows_before
 
     def _release_lock(self, pe: int, address: int, block: int) -> None:
         locked = self._locked_words.get(block)
@@ -656,16 +808,17 @@ class PIMCacheSystem:
                 del self._locked_words[block]
 
     def _lock_read(
-        self, pe: int, sop: int, area: int, address: int, block: int, flags: int
+        self, pe: int, sop: int, area: int, address: int, block: int,
+        value: int = 0, flags: int = 0,
     ) -> AccessResult:
-        if self._check_locks(pe, area, block):
+        if self._locked_words and self._check_locks(pe, area, block):
             return (BLOCKED, 0, None)
         out_flags = 0
         if flags & FLAG_LOCK_CONTENDED:
             # Trace replay: re-enact the LH + busy-wait recorded at
             # generation time (replay order serializes the conflict away).
             self.stats.lh_responses += 1
-            self._bus(pe, BusPattern.INVALIDATION, area)
+            self._bus(pe, _INVALIDATION, area)
             out_flags = FLAG_LOCK_CONTENDED
         line = self.caches[pe].lookup(block)
         value = None
@@ -686,9 +839,9 @@ class PIMCacheSystem:
             )
             self._register_lock(pe, address, block)
             self.stats.lr_bus += 1
-            self.stats.command_counts[BusCommand.I] += 1
+            self.stats.command_counts[_I] += 1
             self.stats.command_counts[BusCommand.LK] += 1
-            cycles = self._bus(pe, BusPattern.INVALIDATION, area)
+            cycles = self._bus(pe, _INVALIDATION, area)
             return (cycles, out_flags, value)
         # Miss: FI + LK.
         self.stats.lr_bus += 1
@@ -698,6 +851,18 @@ class PIMCacheSystem:
         if self.track_data:
             value = self.caches[pe].peek(block).data[address & self._block_mask]
         return (cycles, out_flags, value)
+
+    def _unlock_write(
+        self, pe: int, sop: int, area: int, address: int, block: int,
+        value: int = 0, flags: int = 0,
+    ) -> AccessResult:
+        return self._unlock(pe, sop, area, address, block, True, value, flags)
+
+    def _unlock_plain(
+        self, pe: int, sop: int, area: int, address: int, block: int,
+        value: int = 0, flags: int = 0,
+    ) -> AccessResult:
+        return self._unlock(pe, sop, area, address, block, False, value, flags)
 
     def _unlock(
         self,
@@ -739,7 +904,7 @@ class PIMCacheSystem:
         if had_waiter:
             self.stats.unlocks_with_waiter += 1
             self.stats.command_counts[BusCommand.UL] += 1
-            total += self._bus(pe, BusPattern.INVALIDATION, area)
+            total += self._bus(pe, _INVALIDATION, area)
             out_flags = FLAG_LOCK_CONTENDED
             # Busy-waiting PEs will retry; clear their episode markers so
             # the retry performs a fresh (now unobstructed) lock check.

@@ -3,7 +3,8 @@
 The format is deliberately simple: a small ASCII header (magic, version,
 PE count, reference count) followed by the five raw columns, each
 prefixed with its typecode.  Arrays are written in machine byte order;
-the header records the byte order so a mismatch is detected on read.
+the header records the byte order, and a reader on a foreign-endian
+machine byteswaps the columns on load.
 """
 
 from __future__ import annotations
@@ -20,7 +21,7 @@ VERSION = 1
 
 
 class TraceFormatError(ValueError):
-    """Raised when a trace file is malformed or from a foreign byte order."""
+    """Raised when a trace file is malformed."""
 
 
 def write_trace(buffer: TraceBuffer, path: Union[str, Path]) -> None:
@@ -51,11 +52,11 @@ def read_trace(path: Union[str, Path]) -> TraceBuffer:
         version, byteorder, n_pes, n_refs = header
         if int(version) != VERSION:
             raise TraceFormatError(f"{path}: unsupported version {version}")
-        if byteorder != sys.byteorder:
+        if byteorder not in ("little", "big"):
             raise TraceFormatError(
-                f"{path}: trace written on a {byteorder}-endian machine; "
-                f"this machine is {sys.byteorder}-endian"
+                f"{path}: unknown byte order {byteorder!r} in header"
             )
+        swap = byteorder != sys.byteorder
         buffer = TraceBuffer(n_pes=int(n_pes))
         count = int(n_refs)
         for column in buffer.columns():
@@ -67,5 +68,10 @@ def read_trace(path: Union[str, Path]) -> TraceBuffer:
                 )
             fresh = array(column.typecode)
             fresh.fromfile(fh, count)
+            if swap:
+                # Traces are written in the producer's byte order; a
+                # foreign-endian file is converted in place rather than
+                # rejected (single-byte columns are unaffected).
+                fresh.byteswap()
             column.extend(fresh)
         return buffer

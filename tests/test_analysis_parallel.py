@@ -1,0 +1,116 @@
+"""Parallel sweep executor and trace disk cache tests."""
+
+import pytest
+
+from repro.analysis.parallel import merge_stats, run_sweep
+from repro.analysis.runner import Workloads, trace_cache_dir
+from repro.core.config import CacheConfig, SimulationConfig
+from repro.core.replay import replay
+from repro.trace.io import write_trace
+from repro.trace.synthetic import generate_random_trace
+
+
+def _sweep_points():
+    return [
+        SimulationConfig(cache=CacheConfig(n_sets=n_sets))
+        for n_sets in (64, 128, 256)
+    ]
+
+
+def _assert_identical(left, right):
+    assert left.refs == right.refs
+    assert left.hits == right.hits
+    assert left.pe_cycles == right.pe_cycles
+    assert left.bus_cycles_total == right.bus_cycles_total
+    assert left.pattern_cycles == right.pattern_cycles
+    assert left.command_counts == right.command_counts
+
+
+class TestRunSweep:
+    def test_parallel_matches_serial_bit_for_bit(self):
+        trace = generate_random_trace(4000, n_pes=4, seed=9)
+        configs = _sweep_points()
+        serial = run_sweep(trace, configs, jobs=1)
+        parallel = run_sweep(trace, configs, jobs=2)
+        assert len(serial) == len(parallel) == len(configs)
+        for left, right in zip(serial, parallel):
+            _assert_identical(left, right)
+
+    def test_accepts_trace_path(self, tmp_path):
+        trace = generate_random_trace(2000, n_pes=2, seed=5)
+        path = tmp_path / "sweep.trace"
+        write_trace(trace, path)
+        configs = _sweep_points()[:2]
+        from_path = run_sweep(path, configs, jobs=2)
+        from_buffer = run_sweep(trace, configs, jobs=1)
+        for left, right in zip(from_path, from_buffer):
+            _assert_identical(left, right)
+
+    def test_serial_path_input(self, tmp_path):
+        trace = generate_random_trace(500, n_pes=2, seed=5)
+        path = tmp_path / "one.trace"
+        write_trace(trace, path)
+        (stats,) = run_sweep(path, [SimulationConfig()], jobs=1)
+        _assert_identical(stats, replay(trace, SimulationConfig()))
+
+    def test_empty_configs(self):
+        trace = generate_random_trace(100, n_pes=2, seed=5)
+        assert run_sweep(trace, [], jobs=4) == []
+
+
+class TestMergeStats:
+    def test_merge_sums_counters(self):
+        trace_a = generate_random_trace(1000, n_pes=2, seed=1)
+        trace_b = generate_random_trace(1000, n_pes=2, seed=2)
+        parts = [replay(trace_a), replay(trace_b)]
+        merged = merge_stats(parts)
+        assert merged.total_refs == sum(p.total_refs for p in parts)
+        assert merged.bus_cycles_total == sum(
+            p.bus_cycles_total for p in parts
+        )
+
+
+class TestTraceDiskCache:
+    def test_cache_dir_honours_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        assert trace_cache_dir() == tmp_path
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        assert trace_cache_dir() is None
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+        assert trace_cache_dir() is None
+
+    def test_trace_round_trips_through_disk(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        first = Workloads(scale="tiny")
+        trace = first.trace("pascal", 2)
+        files = list(tmp_path.glob("v*-pascal-tiny-2pe-seed1.trace"))
+        assert len(files) == 1
+        # A fresh Workloads (fresh process in real life) must load the
+        # cached file instead of re-emulating.
+        second = Workloads(scale="tiny")
+        reloaded = second.trace("pascal", 2)
+        assert list(reloaded) == list(trace)
+        assert ("pascal", 2) not in second._cache  # no emulation happened
+
+    def test_corrupt_cache_file_is_regenerated(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        workloads = Workloads(scale="tiny")
+        trace = workloads.trace("pascal", 2)
+        (path,) = tmp_path.glob("*.trace")
+        path.write_bytes(b"PIMTRACE\ngarbage")
+        fresh = Workloads(scale="tiny")
+        regenerated = fresh.trace("pascal", 2)
+        assert list(regenerated) == list(trace)
+        assert ("pascal", 2) in fresh._cache  # re-emulated
+
+    def test_trace_path_materializes_file(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        workloads = Workloads(scale="tiny")
+        path = workloads.trace_path("pascal", 2)
+        assert path is not None and path.exists()
+
+    def test_disabled_cache_still_works(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        workloads = Workloads(scale="tiny")
+        assert workloads.trace_path("pascal", 2) is None
+        assert len(workloads.trace("pascal", 2)) > 0

@@ -1,5 +1,7 @@
 """Unit tests for the set-associative cache array."""
 
+import pytest
+
 from repro.core.cache import Cache
 from repro.core.config import CacheConfig
 from repro.core.states import CacheState
@@ -47,12 +49,14 @@ def test_lru_eviction_within_set():
     assert cache.lookup(8) is not None
 
 
-def test_insert_same_block_replaces_without_eviction():
+def test_insert_same_block_raises():
+    # A re-insert would silently discard the resident line's state and
+    # dirty data; the protocol always misses first, so this is a bug trap.
     cache = make_cache(associativity=1)
     cache.insert(0, CacheState.S, 0)
-    victim = cache.insert(0, CacheState.EM, 0)
-    assert victim is None
-    assert cache.lookup(0).state == CacheState.EM
+    with pytest.raises(ValueError, match="already resident"):
+        cache.insert(0, CacheState.EM, 0)
+    assert cache.lookup(0).state == CacheState.S
 
 
 def test_remove():

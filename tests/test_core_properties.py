@@ -141,6 +141,54 @@ def test_direct_write_never_increases_traffic(seed):
     assert heap_on.bus_cycles_total <= all_off.bus_cycles_total
 
 
+_any_op_step = st.tuples(
+    st.integers(0, 3),  # pe (taken mod the drawn PE count)
+    st.sampled_from(tuple(Op)),  # R/W/LR/UW/U/DW/ER/RP/RI — locks included
+    st.integers(0, 95),
+    st.integers(0, 255),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(2, 4),
+    st.lists(_any_op_step, min_size=1, max_size=400),
+    st.sampled_from(["pim", "illinois"]),
+)
+def test_invariants_hold_with_lock_traffic(n_pes, steps, protocol):
+    """Interleaved lock/unlock traffic (contended LRs included) never
+    breaks coherence or the lock bookkeeping, on either protocol.
+
+    A BLOCKED result is legitimate here — another PE holds a lock in the
+    block — and leaves the system in a consistent busy-wait state;
+    ``check_invariants`` (which also cross-checks ``_locked_words``
+    against the per-PE lock directories) runs every 25 accesses, not
+    just at the end, so a transiently broken state cannot hide behind a
+    later access that repairs it.
+    """
+    system = PIMCacheSystem(
+        SimulationConfig(
+            cache=CacheConfig(block_words=4, n_sets=2, associativity=2),
+            protocol=protocol,
+            track_data=True,
+        ),
+        n_pes,
+    )
+    blocked = 0
+    for i, (pe, op, offset, value) in enumerate(steps, 1):
+        cycles, _, _ = system.access(pe % n_pes, op, Area.HEAP, HEAP + offset, value)
+        if cycles == BLOCKED:
+            blocked += 1
+        if i % 25 == 0:
+            system.check_invariants()
+    system.check_invariants()
+    assert blocked <= len(steps)
+    # Flushing releases every lock and leaves a coherent empty system.
+    system.flush_all()
+    system.check_invariants()
+    assert not system._locked_words
+
+
 @settings(max_examples=20, deadline=None)
 @given(st.lists(_step, min_size=1, max_size=200))
 def test_stats_are_internally_consistent(steps):

@@ -1,5 +1,8 @@
 """Trace file round-trip tests."""
 
+import sys
+from array import array
+
 import pytest
 
 from repro.trace.buffer import TraceBuffer
@@ -37,6 +40,41 @@ def test_rejects_truncated_header(tmp_path):
     path = tmp_path / "trunc.trace"
     path.write_bytes(b"PIMTRACE\n1 little\n")
     with pytest.raises(TraceFormatError):
+        read_trace(path)
+
+
+def test_foreign_endian_roundtrip(tmp_path):
+    # Fabricate the file a foreign-endian machine would have written:
+    # same header/typecodes, multi-byte columns byteswapped, and the
+    # opposite byte order recorded in the header.
+    buffer = generate_random_trace(500, n_pes=4, seed=7)
+    path = tmp_path / "native.trace"
+    write_trace(buffer, path)
+    foreign = {"little": "big", "big": "little"}[sys.byteorder]
+    raw = path.read_bytes().replace(
+        f" {sys.byteorder} ".encode("ascii"), f" {foreign} ".encode("ascii"), 1
+    )
+    addr_col = buffer.columns()[3]
+    swapped = array("q", addr_col)
+    swapped.byteswap()
+    raw = raw.replace(addr_col.tobytes(), swapped.tobytes(), 1)
+    foreign_path = tmp_path / "foreign.trace"
+    foreign_path.write_bytes(raw)
+
+    loaded = read_trace(foreign_path)
+    assert list(loaded) == list(buffer)
+
+
+def test_rejects_unknown_byteorder(tmp_path):
+    buffer = TraceBuffer()
+    buffer.append(0, Op.R, Area.HEAP, 1)
+    path = tmp_path / "weird.trace"
+    write_trace(buffer, path)
+    raw = path.read_bytes().replace(
+        f" {sys.byteorder} ".encode("ascii"), b" middle ", 1
+    )
+    path.write_bytes(raw)
+    with pytest.raises(TraceFormatError, match="byte order"):
         read_trace(path)
 
 

@@ -44,9 +44,13 @@ from repro.core.config import CacheConfig, SimulationConfig
 from repro.core.replay import replay
 from repro.core.stats import SystemStats
 from repro.analysis.parallel import default_jobs, run_sweep
+from repro.obs.log import get_logger
+from repro.obs.manifest import build_manifest
 from repro.trace.buffer import TraceBuffer
 from repro.trace.events import Area, Op
 from repro.trace.synthetic import generate_random_trace
+
+logger = get_logger("analysis.bench")
 
 #: refs/sec at the pre-rewrite baseline (if/elif dispatch, per-access
 #: method calls), best-of-5 ``process_time`` medians from runs
@@ -128,8 +132,19 @@ def run_bench(
     quick: bool = False,
     jobs: Optional[int] = None,
     repeats: Optional[int] = None,
+    recorded: Optional[dict] = None,
+    overhead_bound: float = 0.95,
 ) -> dict:
-    """Run every benchmark section and return the report dict."""
+    """Run every benchmark section and return the report dict.
+
+    *recorded* is a previously written report (typically the committed
+    ``BENCH_replay.json``, measured before the observability layer
+    existed): when given, the report grows a ``no_sink_overhead``
+    section comparing today's refs/sec against the recorded rates —
+    the probe layer promises zero cost while no sink is attached, and
+    this is where that promise is checked (``repro bench
+    --assert-overhead``).
+    """
     if repeats is None:
         repeats = 3 if quick else 5
     if jobs is None:
@@ -147,6 +162,7 @@ def run_bench(
 
         workloads["tri"] = Workloads(scale="small").trace("tri")
 
+    bench_start = time.perf_counter()
     report: dict = {
         "benchmark": "replay",
         "quick": quick,
@@ -155,6 +171,7 @@ def run_bench(
         "workloads": {},
     }
     for name, buffer in workloads.items():
+        logger.info("measuring %s (%d refs, %d repeats)", name, len(buffer), repeats)
         rate, stats = measure_replay(buffer, repeats=repeats)
         total = sum(sum(row) for row in stats.refs)
         hits = sum(sum(row) for row in stats.hits)
@@ -188,7 +205,48 @@ def run_bench(
         else None,
         "results_identical": True,
     }
+    if recorded:
+        report["no_sink_overhead"] = compare_no_sink_overhead(
+            report, recorded, bound=overhead_bound
+        )
+    report["manifest"] = build_manifest(
+        config=SimulationConfig(),
+        wall_seconds=round(time.perf_counter() - bench_start, 3),
+        extra={"kind": "bench", "quick": quick, "repeats": repeats},
+    )
     return report
+
+
+def compare_no_sink_overhead(
+    report: dict, recorded: dict, bound: float = 0.95
+) -> dict:
+    """Compare fresh refs/sec against a previously recorded report.
+
+    Returns per-workload ``{recorded, measured, ratio}`` over the
+    workloads the two reports share, plus the worst ratio and whether
+    it clears *bound* (the tentpole's "no-sink replay within ~5% of
+    baseline" promise).  Rates are ratios of the same methodology, so
+    host speed cancels only when both reports come from the same host —
+    CI uses a looser bound for exactly that reason.
+    """
+    shared = {}
+    for name, entry in report.get("workloads", {}).items():
+        old = recorded.get("workloads", {}).get(name)
+        if not old or not old.get("refs_per_sec"):
+            continue
+        ratio = entry["refs_per_sec"] / old["refs_per_sec"]
+        shared[name] = {
+            "recorded_refs_per_sec": old["refs_per_sec"],
+            "measured_refs_per_sec": entry["refs_per_sec"],
+            "ratio": round(ratio, 4),
+        }
+    min_ratio = min((w["ratio"] for w in shared.values()), default=None)
+    return {
+        "bound": bound,
+        "workloads": shared,
+        "min_ratio": min_ratio,
+        "within_bound": (min_ratio is None) or min_ratio >= bound,
+    }
 
 
 def write_report(report: dict, path) -> Path:
@@ -220,6 +278,14 @@ def format_report(report: dict) -> str:
         f"jobs={sweep['jobs']} {sweep['wall_seconds_parallel']:.2f}s "
         f"({sweep['parallel_speedup']:.2f}x, results identical)"
     )
+    overhead = report.get("no_sink_overhead")
+    if overhead and overhead.get("min_ratio") is not None:
+        verdict = "OK" if overhead["within_bound"] else "VIOLATED"
+        lines.append(
+            f"  no-sink overhead vs recorded report: worst ratio "
+            f"{overhead['min_ratio']:.4f} "
+            f"(bound {overhead['bound']:.2f}) {verdict}"
+        )
     if report["host_cpus"] < 2:
         lines.append(
             "  note: single-CPU host; the parallel sweep cannot beat "

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
@@ -29,8 +30,12 @@ from typing import List, Optional, Sequence, Union
 from repro.core.config import SimulationConfig
 from repro.core.replay import replay
 from repro.core.stats import SystemStats
+from repro.obs.log import get_logger
+from repro.obs.manifest import build_manifest, config_fingerprint
 from repro.trace.buffer import TraceBuffer
 from repro.trace.io import read_trace, write_trace
+
+logger = get_logger("analysis.parallel")
 
 #: Trace loaded once per worker process by :func:`_init_worker`.
 _worker_trace: Optional[TraceBuffer] = None
@@ -72,6 +77,7 @@ def run_sweep(
     if jobs is None:
         jobs = default_jobs()
     jobs = min(jobs, len(configs)) if configs else 1
+    logger.info("sweeping %d configs across %d workers", len(configs), jobs)
     if jobs <= 1:
         if isinstance(trace, (str, Path)):
             trace = read_trace(trace)
@@ -95,6 +101,42 @@ def run_sweep(
     finally:
         if tmp_path is not None:
             os.unlink(tmp_path)
+
+
+def run_sweep_report(
+    trace: Union[TraceBuffer, str, Path],
+    configs: Sequence[SimulationConfig],
+    jobs: Optional[int] = None,
+    trace_cache_key: Optional[str] = None,
+) -> dict:
+    """:func:`run_sweep` plus provenance: a JSON-ready report.
+
+    Each sweep point carries its own config fingerprint (so a point can
+    be matched back to its configuration from the report alone) and the
+    report as a whole carries a ``repro.obs/manifest/v1`` manifest
+    keyed on the *first* configuration — the sweep's baseline.
+    """
+    configs = list(configs)
+    start = time.perf_counter()
+    results = run_sweep(trace, configs, jobs=jobs)
+    wall = time.perf_counter() - start
+    manifest = build_manifest(
+        config=configs[0] if configs else None,
+        trace_cache_key=trace_cache_key,
+        wall_seconds=round(wall, 3),
+        extra={"kind": "sweep", "n_points": len(configs)},
+    )
+    return {
+        "manifest": manifest,
+        "wall_seconds": round(wall, 3),
+        "points": [
+            {
+                "config_hash": config_fingerprint(config),
+                "stats": stats.as_dict(),
+            }
+            for config, stats in zip(configs, results)
+        ],
+    }
 
 
 def merge_stats(parts: Sequence[SystemStats]) -> SystemStats:

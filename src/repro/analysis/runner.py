@@ -20,8 +20,12 @@ from repro.core.config import MachineConfig, OptimizationConfig, SimulationConfi
 from repro.core.replay import replay
 from repro.core.stats import SystemStats
 from repro.machine.machine import KL1Machine, MachineResult
+from repro.obs.log import get_logger
+from repro.obs.manifest import build_manifest
 from repro.trace.buffer import TraceBuffer
 from repro.trace.io import TraceFormatError, read_trace, write_trace
+
+logger = get_logger("analysis.runner")
 
 #: Bump when the emulator or scheduler changes the reference streams it
 #: emits: the version is part of every cache file name, so stale traces
@@ -60,6 +64,9 @@ class BenchmarkResult:
     trace: Optional[TraceBuffer]
     #: Static source lines (Table 1's "lines" column).
     source_lines: int
+    #: Run provenance (``repro.obs/manifest/v1``): config hash, seed,
+    #: git SHA, interpreter, wall time.
+    manifest: Optional[dict] = None
 
 
 def run_benchmark(
@@ -85,6 +92,7 @@ def run_benchmark(
         machine_config = replace(machine_config, n_pes=n_pes)
     if sim_config is None:
         sim_config = SimulationConfig()
+    logger.info("emulating %s/%s on %d PEs", name, scale, n_pes)
     machine = KL1Machine(benchmark.source, machine_config, sim_config)
     result = machine.run(benchmark.query(scale))
     if verify:
@@ -94,6 +102,23 @@ def run_benchmark(
             raise AssertionError(
                 f"benchmark {name}/{scale} computed {got!r}, expected {expected!r}"
             )
+    logger.debug(
+        "%s/%s: %d reductions, %d refs, %.2fs",
+        name, scale, result.reductions, result.memory_refs, result.wall_seconds,
+    )
+    manifest = build_manifest(
+        config=sim_config,
+        seed=machine_config.seed,
+        wall_seconds=round(result.wall_seconds, 3),
+        extra={
+            "kind": "benchmark-run",
+            "benchmark": name,
+            "scale": scale,
+            "n_pes": n_pes,
+            "reductions": result.reductions,
+            "memory_refs": result.memory_refs,
+        },
+    )
     return BenchmarkResult(
         name=name,
         scale=scale,
@@ -102,6 +127,7 @@ def run_benchmark(
         stats=result.stats,
         trace=result.trace,
         source_lines=machine.program.source_lines,
+        manifest=manifest,
     )
 
 
@@ -137,6 +163,14 @@ class Workloads:
         self._traces: Dict[Tuple[str, int], TraceBuffer] = {}
         self._replays: Dict[Tuple[str, int, SimulationConfig], SystemStats] = {}
 
+    def cache_key(self, name: str, n_pes: int = 8) -> str:
+        """The disk-cache key (file stem) of one workload's trace —
+        recorded in manifests so results name the stream they used."""
+        return (
+            f"v{TRACE_CACHE_VERSION}-{name}-{self.scale}-"
+            f"{n_pes}pe-seed{self.seed}"
+        )
+
     def result(self, name: str, n_pes: int = 8) -> BenchmarkResult:
         key = (name, n_pes)
         if key not in self._cache:
@@ -146,6 +180,8 @@ class Workloads:
                 n_pes=n_pes,
                 machine_config=MachineConfig(n_pes=n_pes, seed=self.seed),
             )
+            if result.manifest is not None:
+                result.manifest["trace_cache_key"] = self.cache_key(name, n_pes)
             self._cache[key] = result
             if result.trace is not None:
                 self._traces[key] = result.trace
@@ -189,8 +225,11 @@ class Workloads:
         if path is None or not path.exists():
             return None
         try:
-            return read_trace(path)
+            trace = read_trace(path)
+            logger.info("trace cache hit: %s (%d refs)", path.name, len(trace))
+            return trace
         except (TraceFormatError, OSError, EOFError):
+            logger.warning("discarding unreadable cached trace %s", path)
             # A truncated or stale file is re-generated, never fatal.
             try:
                 path.unlink()
@@ -210,6 +249,7 @@ class Workloads:
             os.close(fd)
             write_trace(trace, tmp)
             os.replace(tmp, path)  # atomic: readers never see a partial file
+            logger.debug("trace cached: %s (%d refs)", path.name, len(trace))
         except OSError:
             pass  # a read-only cache dir degrades to no caching
 

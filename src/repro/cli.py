@@ -17,7 +17,17 @@ Commands
     Show the compiled abstract-machine code of a program.
 ``bench``
     Measure replay throughput and sweep wall time, writing
-    ``BENCH_replay.json``.
+    ``BENCH_replay.json``; ``--assert-overhead`` turns it into the
+    no-sink overhead gate.
+``profile``
+    Replay a benchmark or trace file with the protocol probe attached
+    and write the full observability bundle (Perfetto trace, windowed
+    metrics, event stream, hotness histogram, manifest).
+``events``
+    Print (or export) the structured protocol event stream of a replay.
+
+Global ``-v``/``-vv`` and ``-q`` control library logging (the
+:mod:`repro.obs.log` hierarchy); they go before the subcommand.
 """
 
 from __future__ import annotations
@@ -39,6 +49,7 @@ from repro.core.config import (
 from repro.core.replay import replay
 from repro.machine.compiler import compile_program
 from repro.machine.machine import KL1Machine
+from repro.obs.log import configure as configure_logging
 from repro.programs import names as benchmark_names
 from repro.trace.io import read_trace, write_trace
 
@@ -217,6 +228,8 @@ def cmd_report(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    import json
+
     from repro.analysis import bench
 
     if args.repeats is not None and args.repeats < 1:
@@ -226,12 +239,123 @@ def cmd_bench(args) -> int:
         print("error: --jobs must be at least 2 (the sweep is timed "
               "against a serial jobs=1 run)", file=sys.stderr)
         return 2
+    # The previously written report (if any) is the no-sink-overhead
+    # reference; read it before write_report replaces it.
+    recorded = None
+    recorded_path = Path(args.output)
+    if recorded_path.exists():
+        try:
+            recorded = json.loads(recorded_path.read_text())
+        except (OSError, ValueError):
+            recorded = None
+    if args.assert_overhead is not None and recorded is None:
+        print(f"error: --assert-overhead needs an existing recorded "
+              f"report at {args.output}", file=sys.stderr)
+        return 2
     report = bench.run_bench(
-        quick=args.quick, jobs=args.jobs, repeats=args.repeats
+        quick=args.quick,
+        jobs=args.jobs,
+        repeats=args.repeats,
+        recorded=recorded,
+        overhead_bound=(
+            args.assert_overhead if args.assert_overhead is not None else 0.95
+        ),
     )
     print(bench.format_report(report))
     path = bench.write_report(report, args.output)
     print(f"benchmark report written: {path}")
+    if args.assert_overhead is not None:
+        overhead = report.get("no_sink_overhead") or {}
+        if not overhead.get("within_bound", False):
+            print(f"error: no-sink overhead bound violated: worst ratio "
+                  f"{overhead.get('min_ratio')} < {args.assert_overhead}",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+def _replay_source(args):
+    """Resolve a profile/events source into (buffer, name, pes, key).
+
+    ``--benchmark`` goes through the :class:`Workloads` trace cache
+    (recording its cache key for the manifest); ``--trace`` reads a
+    recorded trace file.
+    """
+    if args.benchmark:
+        workloads = Workloads(scale=args.scale)
+        buffer = workloads.trace(args.benchmark, args.pes)
+        name = f"{args.benchmark}-{args.scale}-{args.pes}pe"
+        return buffer, name, args.pes, workloads.cache_key(
+            args.benchmark, args.pes
+        )
+    buffer = read_trace(args.trace)
+    pes = args.pes if args.pes else buffer.n_pes
+    return buffer, Path(args.trace).stem, pes, None
+
+
+def cmd_profile(args) -> int:
+    from repro.obs.profile import profile_trace, write_profile
+
+    buffer, name, pes, cache_key = _replay_source(args)
+    result = profile_trace(
+        buffer,
+        config=_sim_config(args),
+        n_pes=pes,
+        window=args.window,
+        event_capacity=args.events,
+        top_blocks=args.top,
+        trace_cache_key=cache_key,
+    )
+    paths = write_profile(result, args.out_dir, name)
+    stats = result.stats
+    print(f"profiled {stats.total_refs:,} refs on {pes} PEs "
+          f"in {result.wall_seconds:.2f}s")
+    busy = (stats.bus_cycles_total / stats.total_cycles
+            if stats.total_cycles else 0.0)
+    print(f"miss ratio:  {stats.miss_ratio:.4f}   "
+          f"bus utilization: {busy:.4f}")
+    dropped = (f" ({result.events_dropped:,} dropped)"
+               if result.events_dropped else "")
+    print(f"events:      {result.events_emitted:,} emitted{dropped}, "
+          f"{len(result.windows)} windows of {args.window:,} refs")
+    for kind in ("trace", "windows", "events", "hotness", "manifest"):
+        print(f"  {kind:>9}: {paths[kind]}")
+    print("open the .trace.json in https://ui.perfetto.dev "
+          "(or chrome://tracing)")
+    return 0
+
+
+def cmd_events(args) -> int:
+    from repro.obs.events import EVENT_KIND_NAMES
+    from repro.obs.probe import ProtocolProbe
+    from repro.obs.sink import CollectorSink, write_events_jsonl
+    from repro.obs.windows import windowed_replay
+
+    buffer, name, pes, _ = _replay_source(args)
+    sink = CollectorSink()
+    windowed_replay(
+        buffer, _sim_config(args), n_pes=pes, probe=ProtocolProbe(sink)
+    )
+    events = sink.events
+    if args.kind:
+        wanted = {k.strip().lower() for k in args.kind.split(",")}
+        unknown = wanted - set(EVENT_KIND_NAMES)
+        if unknown:
+            print(f"error: unknown event kind(s) {', '.join(sorted(unknown))} "
+                  f"(choose from {', '.join(EVENT_KIND_NAMES)})",
+                  file=sys.stderr)
+            return 2
+        events = [e for e in events if EVENT_KIND_NAMES[e.kind] in wanted]
+    if args.output:
+        path = write_events_jsonl(events, args.output)
+        print(f"{len(events):,} events written: {path}")
+        return 0
+    shown = events if args.limit <= 0 else events[: args.limit]
+    for event in shown:
+        print(event.format())
+    if len(shown) < len(events):
+        print(f"... {len(events) - len(shown):,} more "
+              f"(raise --limit or use -o to export all)")
     return 0
 
 
@@ -240,6 +364,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="PIM coherent cache reproduction (ISCA 1989)",
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="library log level: -v INFO, -vv DEBUG "
+                             "(goes before the subcommand)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="only log errors")
     commands = parser.add_subparsers(dest="command", required=True)
 
     run_parser = commands.add_parser(
@@ -317,13 +446,70 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(default: 5, or 3 with --quick)")
     bench_parser.add_argument("--output", "-o", default="BENCH_replay.json",
                               help="report path (default BENCH_replay.json)")
+    bench_parser.add_argument("--assert-overhead", type=float, nargs="?",
+                              const=0.95, default=None, metavar="RATIO",
+                              help="fail (exit 1) if any workload's refs/sec "
+                                   "drops below RATIO (default 0.95) of the "
+                                   "recorded report at --output")
     bench_parser.set_defaults(handler=cmd_bench)
+
+    profile_parser = commands.add_parser(
+        "profile",
+        help="replay with the protocol probe attached and write the "
+             "observability bundle",
+    )
+    profile_source = profile_parser.add_mutually_exclusive_group(required=True)
+    profile_source.add_argument("--benchmark",
+                                choices=list(benchmark_names()),
+                                help="profile a paper benchmark's trace "
+                                     "(via the trace cache)")
+    profile_source.add_argument("--trace", help="profile a recorded trace file")
+    profile_parser.add_argument("--scale", default="small",
+                                choices=["tiny", "small", "medium", "paper"])
+    profile_parser.add_argument("--pes", type=int, default=8,
+                                help="PE count (with --trace, 0 means "
+                                     "the trace's own)")
+    profile_parser.add_argument("--window", type=int, default=4096,
+                                help="references per metrics window "
+                                     "(default 4096)")
+    profile_parser.add_argument("--events", type=int, default=65536,
+                                help="event ring capacity; oldest events "
+                                     "drop past this (default 65536)")
+    profile_parser.add_argument("--top", type=int, default=20,
+                                help="blocks kept in the hotness report "
+                                     "(default 20)")
+    profile_parser.add_argument("--out-dir", default="profile",
+                                help="artifact directory (default ./profile)")
+    _add_cache_options(profile_parser)
+    profile_parser.set_defaults(handler=cmd_profile)
+
+    events_parser = commands.add_parser(
+        "events", help="print or export a replay's protocol event stream"
+    )
+    events_source = events_parser.add_mutually_exclusive_group(required=True)
+    events_source.add_argument("--benchmark",
+                               choices=list(benchmark_names()),
+                               help="replay a paper benchmark's trace")
+    events_source.add_argument("--trace", help="replay a recorded trace file")
+    events_parser.add_argument("--scale", default="small",
+                               choices=["tiny", "small", "medium", "paper"])
+    events_parser.add_argument("--pes", type=int, default=8)
+    events_parser.add_argument("--kind",
+                               help="comma-separated filter: transition, bus, "
+                                    "demotion, purge, lock")
+    events_parser.add_argument("--limit", type=int, default=50,
+                               help="events printed (0 = all; default 50)")
+    events_parser.add_argument("--output", "-o",
+                               help="write JSONL instead of printing")
+    _add_cache_options(events_parser)
+    events_parser.set_defaults(handler=cmd_events)
 
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(args.verbose, args.quiet)
     return args.handler(args)
 
 

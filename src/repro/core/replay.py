@@ -13,6 +13,7 @@ the system re-enacts the LH response and UL broadcast from it.
 
 from __future__ import annotations
 
+import os
 from collections import Counter
 from typing import Iterable, Optional
 
@@ -21,18 +22,144 @@ from repro.core.states import CacheState
 from repro.core.stats import SystemStats
 from repro.core.system import BLOCKED, N_AREAS, N_OPS, PIMCacheSystem
 from repro.trace.buffer import TraceBuffer
-from repro.trace.events import Op
+from repro.trace.events import AREA_NAMES, OP_NAMES, Op
+
+#: Default check period (in references) for ``REPRO_CHECK_INVARIANTS=1``.
+DEFAULT_INVARIANT_INTERVAL = 4096
+
+
+class ReplayBlockedError(RuntimeError):
+    """A replayed reference hit a remotely held lock (``BLOCKED``).
+
+    Captured traces are globally serialized at generation time, so a
+    blocked reference means the trace was hand-built or corrupted; the
+    offending trace index, PE, operation and address are attached for
+    diagnosis.
+    """
+
+    def __init__(self, index: int, pe: int, op: int, area: int, address: int):
+        self.index = index
+        self.pe = pe
+        self.op = op
+        self.area = area
+        self.address = address
+        super().__init__(
+            f"replay blocked at trace index {index}: PE{pe} "
+            f"{OP_NAMES[op]} {AREA_NAMES[area]}[{address:#x}] hit a "
+            "remotely held lock; captured traces serialize lock "
+            "conflicts, so this trace was hand-built or corrupted"
+        )
+
+
+def invariant_check_interval(
+    default: int = DEFAULT_INVARIANT_INTERVAL,
+) -> Optional[int]:
+    """Parse the ``REPRO_CHECK_INVARIANTS`` debug toggle.
+
+    Unset / ``0`` / ``off`` disables periodic invariant checking (the
+    default); ``1`` / ``on`` enables it at *default* granularity; any
+    other integer is used as the period itself (references for replay,
+    scheduler sweeps for execution-driven runs).
+    """
+    raw = os.environ.get("REPRO_CHECK_INVARIANTS")
+    if raw is None:
+        return None
+    value = raw.strip().lower()
+    if value in ("", "0", "off", "no", "false", "none"):
+        return None
+    if value in ("1", "on", "yes", "true"):
+        return default
+    try:
+        period = int(value)
+    except ValueError:
+        return default
+    return max(1, period)
+
+
+def _validate_codes(buffer: TraceBuffer) -> None:
+    _, op_col, area_col, _, _ = buffer.columns()
+    if len(buffer) and not (
+        0 <= min(op_col) <= max(op_col) < N_OPS
+        and 0 <= min(area_col) <= max(area_col) < N_AREAS
+    ):
+        raise ValueError("trace contains an out-of-range op or area code")
+
+
+def _replay_checked(
+    system: PIMCacheSystem,
+    buffer: TraceBuffer,
+    check_every: Optional[int] = None,
+) -> SystemStats:
+    """Reference replay loop: per-access dispatch with full bookkeeping.
+
+    Slower than the inlined kernel below but exact on indices — a
+    blocked reference raises :class:`ReplayBlockedError` with the trace
+    position — and able to run :meth:`PIMCacheSystem.check_invariants`
+    every *check_every* references (and once more at the end).
+    """
+    access = system.access
+    pe_col, op_col, area_col, addr_col, flags_col = buffer.columns()
+    index = -1
+    for index, (pe, op, area, addr, flags) in enumerate(
+        zip(pe_col, op_col, area_col, addr_col, flags_col)
+    ):
+        if access(pe, op, area, addr, 0, flags)[0] == BLOCKED:
+            raise ReplayBlockedError(index, pe, op, area, addr)
+        if check_every and (index + 1) % check_every == 0:
+            system.check_invariants()
+    if check_every and index >= 0:
+        system.check_invariants()
+    return system.stats
+
+
+def _blocked_error(
+    buffer: TraceBuffer,
+    config: SimulationConfig,
+    n_pes: int,
+    pe: int,
+    op: int,
+    area: int,
+    addr: int,
+) -> ReplayBlockedError:
+    """Locate the trace index of a BLOCKED reference.
+
+    The fast kernel tracks no index (an extra counter would tax every
+    reference of every healthy replay for the benefit of an
+    impossible-by-construction error path).  Replay is deterministic,
+    so a second pass over a fresh system with the indexed loop blocks
+    at the same reference and yields the exact position.
+    """
+    try:
+        _replay_checked(PIMCacheSystem(config, n_pes), buffer)
+    except ReplayBlockedError as error:
+        return error
+    return ReplayBlockedError(-1, pe, op, area, addr)  # pragma: no cover
 
 
 def replay(
     buffer: TraceBuffer,
     config: Optional[SimulationConfig] = None,
     n_pes: Optional[int] = None,
+    check_invariants_every: Optional[int] = None,
 ) -> SystemStats:
-    """Replay *buffer* against a fresh cache system and return its stats."""
+    """Replay *buffer* against a fresh cache system and return its stats.
+
+    ``check_invariants_every`` (or the ``REPRO_CHECK_INVARIANTS``
+    environment toggle — see :func:`invariant_check_interval`) switches
+    to the checked per-access loop and validates the coherence
+    invariants every N references.
+    """
     if config is None:
         config = SimulationConfig()
-    system = PIMCacheSystem(config, n_pes if n_pes is not None else buffer.n_pes)
+    pes = n_pes if n_pes is not None else buffer.n_pes
+    if check_invariants_every is None:
+        check_invariants_every = invariant_check_interval()
+    if check_invariants_every:
+        _validate_codes(buffer)
+        return _replay_checked(
+            PIMCacheSystem(config, pes), buffer, check_invariants_every
+        )
+    system = PIMCacheSystem(config, pes)
     # Hot loop: dispatch straight off the system's handler table instead
     # of going through :meth:`PIMCacheSystem.access`, folding the
     # per-reference bookkeeping into the loop.  Two access() duties are
@@ -50,11 +177,7 @@ def replay(
     waiting = system._waiting
     shift = system._block_shift
     pe_col, op_col, area_col, addr_col, flags_col = buffer.columns()
-    if len(buffer) and not (
-        0 <= min(op_col) <= max(op_col) < N_OPS
-        and 0 <= min(area_col) <= max(area_col) < N_AREAS
-    ):
-        raise ValueError("trace contains an out-of-range op or area code")
+    _validate_codes(buffer)
     caches = system.caches
     if caches and not system.track_data:
         # The bus-free hit paths carry the bulk of every workload, so
@@ -83,13 +206,13 @@ def replay(
         # stamp already issued.
         probes = [cache._lines.get for cache in caches]
         gtick = max(cache._tick for cache in caches)
-        # Plain-R hits and their PE cycles are tallied into flat local
-        # lists (one subscript instead of two) and folded into the
-        # system's arrays after the loop; addition commutes with the
-        # handlers' own increments, and an aborted replay discards the
-        # stats object anyway.
+        # Plain-R hits are tallied into a flat local list (one subscript
+        # instead of two) and folded into the hit matrix after the loop —
+        # a histogram, so addition commutes.  PE cycles must NOT be
+        # deferred the same way: ``_bus`` starts every bus transaction at
+        # ``max(pe_clock + 1, bus_free_at)``, so a hit cycle missing from
+        # the live clock would shift subsequent miss timing.
         r_hits = [0] * N_AREAS
-        r_cycles = [0] * len(caches)
         hits = system._hits
         pe_cycles = system._pe_cycles
         block_mask = system._block_mask
@@ -120,7 +243,7 @@ def replay(
                     gtick += 1
                     line.lru = gtick
                     r_hits[area] += 1
-                    r_cycles[pe] += 1
+                    pe_cycles[pe] += 1
                     continue
                 handler = read_h
             else:
@@ -152,29 +275,21 @@ def replay(
             cache._tick = gtick
             result = handler(pe, op, area, addr, block, 0, flags)
             gtick = cache._tick
-            if result[0] == BLOCKED:  # pragma: no cover - traces never block
-                raise RuntimeError(
-                    f"replay blocked on PE{pe} op={op} addr={addr:#x}: "
-                    "the trace's global order should already serialize locks"
-                )
+            if result[0] == BLOCKED:
+                raise _blocked_error(buffer, config, pes, pe, op, area, addr)
             if waiting:  # pragma: no cover - see note above
                 waiting.pop(pe, None)
         for cache in caches:
             cache._tick = gtick
         for area, count in enumerate(r_hits):
             hits[area][0] += count
-        for pe, count in enumerate(r_cycles):
-            pe_cycles[pe] += count
     else:
         for pe, op, area, addr, flags in zip(
             pe_col, op_col, area_col, addr_col, flags_col
         ):
             result = table[op][area](pe, op, area, addr, addr >> shift, 0, flags)
-            if result[0] == BLOCKED:  # pragma: no cover - traces never block
-                raise RuntimeError(
-                    f"replay blocked on PE{pe} op={op} addr={addr:#x}: "
-                    "the trace's global order should already serialize locks"
-                )
+            if result[0] == BLOCKED:
+                raise _blocked_error(buffer, config, pes, pe, op, area, addr)
             if waiting:  # pragma: no cover - see note above
                 waiting.pop(pe, None)
     refs = system.stats.refs

@@ -106,6 +106,8 @@ class PIMCacheSystem:
         "_hits",
         "_pe_cycles",
         "bus_free_at",
+        "_probe",
+        "_base_op_table",
     )
 
     def __init__(self, config: SimulationConfig, n_pes: int):
@@ -180,6 +182,12 @@ class PIMCacheSystem:
         self._op_table = [
             [per_op[op](area) for area in Area] for op in Op
         ]
+        # Observability: the unwrapped table is kept so a probe can be
+        # attached (handlers wrapped) and detached (table restored) at
+        # will.  With no probe attached the dispatch path is unchanged —
+        # the hook layer costs nothing until someone asks to observe.
+        self._base_op_table = self._op_table
+        self._probe = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -210,6 +218,60 @@ class PIMCacheSystem:
     def is_waiting(self, pe: int) -> bool:
         """Whether *pe* is currently busy-waiting on a lock."""
         return pe in self._waiting
+
+    @property
+    def probe(self):
+        """The attached observability probe, or None."""
+        return self._probe
+
+    def attach_probe(self, probe) -> None:
+        """Route every dispatched access through *probe*.
+
+        Each distinct dispatch-table handler is wrapped once with the
+        probe's ``before_access``/``after_access`` callbacks (see
+        :class:`repro.obs.probe.ProtocolProbe` for the contract); the
+        handlers themselves are untouched, so detaching restores the
+        exact uninstrumented table and a system that never attaches a
+        probe pays nothing.  Note the replay fast path in
+        :mod:`repro.core.replay` inlines cache hits past the dispatch
+        table — observed replays must drive :meth:`access` (as
+        :func:`repro.obs.windows.windowed_replay` does) so the probe
+        sees every reference.
+        """
+        if self._probe is not None:
+            raise RuntimeError("a probe is already attached; detach it first")
+        probe.attach(self)
+        self._probe = probe
+        before, after = probe.before_access, probe.after_access
+        wrappers: Dict[object, object] = {}
+
+        def wrap(handler):
+            wrapped = wrappers.get(handler)
+            if wrapped is None:
+                def wrapped(
+                    pe, sop, area, address, block, value=0, flags=0,
+                    _handler=handler,
+                ):
+                    before(pe, sop, area, address, block)
+                    result = _handler(pe, sop, area, address, block, value, flags)
+                    after(pe, sop, area, address, block, result)
+                    return result
+
+                wrappers[handler] = wrapped
+            return wrapped
+
+        self._op_table = [[wrap(h) for h in row] for row in self._base_op_table]
+
+    def detach_probe(self):
+        """Remove the probe and restore the uninstrumented dispatch
+        table; returns the probe (None if none was attached)."""
+        probe = self._probe
+        if probe is None:
+            return None
+        self._op_table = self._base_op_table
+        self._probe = None
+        probe.detach(self)
+        return probe
 
     def line_state(self, pe: int, address: int) -> CacheState:
         """Protocol state of the block holding *address* in PE's cache."""

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
 from repro.core.config import MachineConfig, SimulationConfig
+from repro.core.replay import invariant_check_interval
 from repro.core.stats import SystemStats
 from repro.core.system import PIMCacheSystem
 from repro.machine import builtins as builtin_module
@@ -328,6 +329,12 @@ class KL1Machine:
         engines = self.engines
         n_pes = self.n_pes
         sweep = 0
+        # REPRO_CHECK_INVARIANTS debug mode: verify the coherence
+        # invariants every N scheduler sweeps (off by default; see
+        # docs/OBSERVABILITY.md).
+        check_every = (
+            invariant_check_interval() if self.system is not None else None
+        )
         started = time.perf_counter()
         while True:
             if self.runnable == 0 and self.in_flight == 0:
@@ -341,6 +348,8 @@ class KL1Machine:
             for position in range(n_pes):
                 engines[(position + offset) % n_pes].step()
             sweep += 1
+            if check_every and sweep % check_every == 0:
+                self.system.check_invariants()
             if self.total_reductions > cap:
                 raise LimitExceededError(
                     f"exceeded {cap} reductions; raise max_reductions if intended"

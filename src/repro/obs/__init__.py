@@ -1,0 +1,59 @@
+"""``repro.obs`` — observability over the cache system.
+
+The probe/sink layer turns protocol activity into structured events,
+the window layer turns counters into time series, the exporters feed
+Perfetto and offline tooling, and manifests stamp every result with its
+provenance.  See ``docs/OBSERVABILITY.md`` for the full tour.
+
+Nothing here runs unless explicitly attached: with no sink, the replay
+kernel and :meth:`PIMCacheSystem.access` keep their uninstrumented hot
+paths (enforced by the ``repro bench`` overhead check).
+"""
+
+from repro.obs.events import EVENT_KIND_NAMES, EventKind, ProtocolEvent
+from repro.obs.export import block_histogram, chrome_trace, write_chrome_trace
+from repro.obs.log import configure as configure_logging
+from repro.obs.log import get_logger
+from repro.obs.manifest import build_manifest, config_fingerprint, write_manifest
+from repro.obs.probe import ProtocolProbe
+from repro.obs.profile import ProfileResult, profile_trace, write_profile
+from repro.obs.sink import (
+    CollectorSink,
+    EventSink,
+    JsonlSink,
+    RingBufferSink,
+    write_events_jsonl,
+)
+from repro.obs.windows import (
+    Window,
+    WindowedMetrics,
+    windowed_replay,
+    write_windows_jsonl,
+)
+
+__all__ = [
+    "EVENT_KIND_NAMES",
+    "EventKind",
+    "ProtocolEvent",
+    "ProtocolProbe",
+    "EventSink",
+    "RingBufferSink",
+    "CollectorSink",
+    "JsonlSink",
+    "write_events_jsonl",
+    "Window",
+    "WindowedMetrics",
+    "windowed_replay",
+    "write_windows_jsonl",
+    "block_histogram",
+    "chrome_trace",
+    "write_chrome_trace",
+    "build_manifest",
+    "config_fingerprint",
+    "write_manifest",
+    "ProfileResult",
+    "profile_trace",
+    "write_profile",
+    "configure_logging",
+    "get_logger",
+]

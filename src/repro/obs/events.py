@@ -1,0 +1,92 @@
+"""Structured protocol events emitted by the observability probe.
+
+The cache system's behaviour is defined by per-access transitions
+(DESIGN.md's state tables); the probe turns each observable effect of an
+access into one :class:`ProtocolEvent` so tools can see *when* things
+happen, not just end-of-run totals:
+
+* ``TRANSITION`` — the issuing PE's copy of the referenced block changed
+  protocol state (``INV->S``, ``S->EM``, ``EM->INV`` ...).
+* ``BUS`` — a bus access pattern occupied the common bus
+  (``detail`` names the pattern, ``value`` is the cycles held,
+  ``cycle`` is the cycle at which the bus freed again).
+* ``DEMOTION`` — an optimized command fell back to a plain one
+  (``DW->W``, ``ER->R``).
+* ``PURGE`` — a local copy was forcibly dropped by ER/RP
+  (``detail`` is ``clean`` or ``dirty``).
+* ``LOCK`` — lock-protocol activity: ``LH`` (conflict drawn, busy-wait
+  entered), ``UL`` (unlock broadcast to waiters), ``LR_NO_BUS`` (lock
+  acquired with zero bus cycles), ``LR_BUS``, ``SPURIOUS_UNLOCK``.
+
+Events are cheap named tuples; :meth:`ProtocolEvent.to_dict` renders the
+JSONL form (see ``docs/OBSERVABILITY.md`` for the schema).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+from repro.trace.events import AREA_NAMES, OP_NAMES
+
+
+class EventKind(enum.IntEnum):
+    """Classes of protocol events (see module docstring)."""
+
+    TRANSITION = 0
+    BUS = 1
+    DEMOTION = 2
+    PURGE = 3
+    LOCK = 4
+
+
+#: Human-readable event-kind names, indexed by ``EventKind`` value.
+EVENT_KIND_NAMES = tuple(kind.name.lower() for kind in EventKind)
+
+
+class ProtocolEvent(NamedTuple):
+    """One observed protocol event.
+
+    ``seq`` is the probe's global emission counter, ``ref`` the
+    zero-based index of the reference that caused the event (−1 when
+    unknown), ``cycle`` the simulated clock after the access (the bus
+    clock for ``BUS`` events, the issuing PE's clock otherwise).
+    ``detail`` is a kind-specific tag (transition arrow, pattern name,
+    lock verb); ``value`` a kind-specific integer (bus cycles held,
+    block number, ...).
+    """
+
+    seq: int
+    ref: int
+    cycle: int
+    kind: int
+    pe: int
+    op: int
+    area: int
+    address: int
+    detail: str
+    value: int
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (one JSONL record)."""
+        return {
+            "seq": self.seq,
+            "ref": self.ref,
+            "cycle": self.cycle,
+            "kind": EVENT_KIND_NAMES[self.kind],
+            "pe": self.pe,
+            "op": OP_NAMES[self.op],
+            "area": AREA_NAMES[self.area],
+            "address": self.address,
+            "detail": self.detail,
+            "value": self.value,
+        }
+
+    def format(self) -> str:
+        """One human-readable line (the ``repro events`` rendering)."""
+        return (
+            f"[{self.cycle:>8}] PE{self.pe} {OP_NAMES[self.op]:<2} "
+            f"{AREA_NAMES[self.area]:<13} {self.address:#011x} "
+            f"{EVENT_KIND_NAMES[self.kind]:<10} {self.detail}"
+            + (f" ({self.value})" if self.kind == EventKind.BUS else "")
+        )

@@ -1,0 +1,70 @@
+"""Logging setup for the ``repro`` package.
+
+Library modules log through :func:`get_logger` and never print; only
+the CLI prints results.  The CLI calls :func:`configure` once, mapping
+``-v/--verbose`` and ``-q/--quiet`` onto levels:
+
+===========  =========
+flags        level
+===========  =========
+``-q``       ERROR
+(default)    WARNING
+``-v``       INFO
+``-vv``      DEBUG
+===========  =========
+
+:func:`configure` is idempotent — it owns exactly one handler on the
+``repro`` logger and replaces it on reconfiguration, so tests and
+repeated CLI invocations in one process never stack duplicate handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+#: Root logger name for the whole package.
+ROOT_LOGGER = "repro"
+
+#: Marker attribute identifying the handler :func:`configure` installs.
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A child of the ``repro`` logger (``repro.<name>``), or the root."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name.startswith(ROOT_LOGGER + ".") or name == ROOT_LOGGER:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def verbosity_to_level(verbosity: int = 0, quiet: bool = False) -> int:
+    if quiet:
+        return logging.ERROR
+    if verbosity <= 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure(
+    verbosity: int = 0, quiet: bool = False, stream=None
+) -> logging.Logger:
+    """Install (or replace) the package's single stderr log handler."""
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(verbosity_to_level(verbosity, quiet))
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    setattr(handler, _HANDLER_FLAG, True)
+    logger.addHandler(handler)
+    # The CLI handler is the sink of record; don't also bubble to the
+    # root logger (which pytest and applications may configure).
+    logger.propagate = False
+    return logger

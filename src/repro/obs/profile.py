@@ -1,0 +1,166 @@
+"""One-pass profiling: events + windowed metrics + provenance.
+
+:func:`profile_trace` replays a reference stream once with a
+:class:`~repro.obs.probe.ProtocolProbe` attached, producing everything
+``repro profile`` surfaces:
+
+* the protocol event stream (bounded ring, newest events win),
+* the windowed time-series metrics,
+* the block hotness/sharing histogram (trace-level),
+* a run manifest stamping config hash, seed, trace key, git SHA,
+  interpreter and wall time,
+* the ordinary end-of-run :class:`~repro.core.stats.SystemStats`.
+
+:func:`write_profile` lays the artifacts out as
+``<name>.trace.json`` (Chrome trace-event / Perfetto),
+``<name>.windows.jsonl``, ``<name>.events.jsonl``,
+``<name>.hotness.json`` and ``<name>.manifest.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.config import SimulationConfig
+from repro.core.stats import SystemStats
+from repro.obs.events import ProtocolEvent
+from repro.obs.export import (
+    block_histogram,
+    write_block_histogram,
+    write_chrome_trace,
+)
+from repro.obs.log import get_logger
+from repro.obs.manifest import build_manifest, write_manifest
+from repro.obs.probe import ProtocolProbe
+from repro.obs.sink import RingBufferSink, write_events_jsonl
+from repro.obs.windows import Window, windowed_replay, write_windows_jsonl
+from repro.trace.buffer import TraceBuffer
+
+logger = get_logger("obs.profile")
+
+
+@dataclass
+class ProfileResult:
+    """Everything one profiled replay produced."""
+
+    stats: SystemStats
+    windows: List[Window]
+    events: List[ProtocolEvent]
+    events_emitted: int
+    events_dropped: int
+    hotness: dict
+    manifest: dict
+    n_pes: int
+    wall_seconds: float = 0.0
+    paths: Dict[str, Path] = field(default_factory=dict)
+
+
+def profile_trace(
+    buffer: TraceBuffer,
+    config: Optional[SimulationConfig] = None,
+    n_pes: Optional[int] = None,
+    window: int = 4096,
+    event_capacity: int = 65536,
+    top_blocks: int = 20,
+    seed: Optional[int] = None,
+    trace_cache_key: Optional[str] = None,
+    extra: Optional[dict] = None,
+    check_invariants_every: Optional[int] = None,
+) -> ProfileResult:
+    """Profile one replay of *buffer* (see module docstring)."""
+    if config is None:
+        config = SimulationConfig()
+    pes = n_pes if n_pes is not None else buffer.n_pes
+    sink = RingBufferSink(event_capacity)
+    probe = ProtocolProbe(sink)
+    logger.info(
+        "profiling %d refs on %d PEs (window=%d, ring=%d)",
+        len(buffer), pes, window, event_capacity,
+    )
+    started = time.perf_counter()
+    stats, windows = windowed_replay(
+        buffer,
+        config,
+        n_pes=pes,
+        window=window,
+        probe=probe,
+        check_invariants_every=check_invariants_every,
+    )
+    wall = time.perf_counter() - started
+    hotness = block_histogram(buffer, config.cache.block_words, top=top_blocks)
+    manifest_extra = {
+        "kind": "profile",
+        "refs": len(buffer),
+        "n_pes": pes,
+        "window": window,
+        "windows": len(windows),
+        "event_capacity": event_capacity,
+        "events_emitted": sink.emitted,
+        "events_dropped": sink.dropped,
+    }
+    if extra:
+        manifest_extra.update(extra)
+    manifest = build_manifest(
+        config=config,
+        seed=seed,
+        trace_cache_key=trace_cache_key,
+        wall_seconds=round(wall, 3),
+        extra=manifest_extra,
+    )
+    logger.info(
+        "profile done: %d events (%d dropped), %d windows, %.2fs",
+        sink.emitted, sink.dropped, len(windows), wall,
+    )
+    return ProfileResult(
+        stats=stats,
+        windows=windows,
+        events=sink.events,
+        events_emitted=sink.emitted,
+        events_dropped=sink.dropped,
+        hotness=hotness,
+        manifest=manifest,
+        n_pes=pes,
+        wall_seconds=wall,
+    )
+
+
+def write_profile(
+    result: ProfileResult,
+    out_dir: Union[str, Path],
+    name: str,
+    buffer: Optional[TraceBuffer] = None,
+) -> Dict[str, Path]:
+    """Write every profile artifact under *out_dir*; returns the paths.
+
+    *buffer* is only needed to regenerate the hotness report with a
+    different block size; normally the precomputed one is written.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "trace": write_chrome_trace(
+            result.events, out_dir / f"{name}.trace.json", n_pes=result.n_pes
+        ),
+        "windows": write_windows_jsonl(
+            result.windows, out_dir / f"{name}.windows.jsonl"
+        ),
+        "events": write_events_jsonl(
+            result.events, out_dir / f"{name}.events.jsonl"
+        ),
+        "manifest": write_manifest(
+            result.manifest, out_dir / f"{name}.manifest.json"
+        ),
+    }
+    hotness_path = out_dir / f"{name}.hotness.json"
+    if buffer is not None:
+        paths["hotness"] = write_block_histogram(buffer, hotness_path)
+    else:
+        import json
+
+        hotness_path.write_text(json.dumps(result.hotness, indent=2) + "\n")
+        paths["hotness"] = hotness_path
+    result.paths = paths
+    return paths

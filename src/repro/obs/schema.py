@@ -1,0 +1,166 @@
+"""Hand-rolled validators for the observability artifacts.
+
+No external JSON-schema dependency: each ``validate_*`` function checks
+the required keys and types of one artifact (manifest, event record,
+window record, hotness report, Chrome trace) and raises
+:class:`SchemaError` with a readable path on the first violation.  CI
+runs these over the ``repro profile`` outputs so a drive-by field
+rename cannot silently break downstream tooling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.obs.events import EVENT_KIND_NAMES
+from repro.obs.export import HOTNESS_SCHEMA, TRACE_SCHEMA
+from repro.obs.manifest import MANIFEST_SCHEMA
+from repro.obs.windows import WINDOW_SCHEMA
+from repro.trace.events import AREA_NAMES, OP_NAMES
+
+
+class SchemaError(ValueError):
+    """An artifact does not match its published schema."""
+
+
+def _require(record: Mapping, where: str, key: str, types) -> object:
+    if key not in record:
+        raise SchemaError(f"{where}: missing required key {key!r}")
+    value = record[key]
+    if types is not None and not isinstance(value, types):
+        raise SchemaError(
+            f"{where}.{key}: expected {types}, got {type(value).__name__}"
+        )
+    return value
+
+
+def _require_number_list(record: Mapping, where: str, key: str) -> list:
+    value = _require(record, where, key, list)
+    for index, item in enumerate(value):
+        if not isinstance(item, (int, float)) or isinstance(item, bool):
+            raise SchemaError(
+                f"{where}.{key}[{index}]: expected a number, "
+                f"got {type(item).__name__}"
+            )
+    return value
+
+
+def validate_manifest(record: Mapping) -> Mapping:
+    where = "manifest"
+    schema = _require(record, where, "schema", str)
+    if schema != MANIFEST_SCHEMA:
+        raise SchemaError(f"{where}.schema: expected {MANIFEST_SCHEMA!r}, got {schema!r}")
+    _require(record, where, "created_unix", (int, float))
+    _require(record, where, "python_version", str)
+    _require(record, where, "platform", str)
+    _require(record, where, "command", str)
+    for key in ("git_sha", "config_hash", "trace_cache_key"):
+        value = _require(record, where, key, None)
+        if value is not None and not isinstance(value, str):
+            raise SchemaError(f"{where}.{key}: expected str or null")
+    config = _require(record, where, "config", None)
+    if config is not None and not isinstance(config, Mapping):
+        raise SchemaError(f"{where}.config: expected an object or null")
+    if "wall_seconds" in record and record["wall_seconds"] is not None:
+        if not isinstance(record["wall_seconds"], (int, float)):
+            raise SchemaError(f"{where}.wall_seconds: expected a number or null")
+    return record
+
+
+def validate_event(record: Mapping) -> Mapping:
+    where = "event"
+    for key in ("seq", "ref", "cycle", "pe", "address", "value"):
+        value = _require(record, where, key, int)
+        if isinstance(value, bool):
+            raise SchemaError(f"{where}.{key}: expected int, got bool")
+    kind = _require(record, where, "kind", str)
+    if kind not in EVENT_KIND_NAMES:
+        raise SchemaError(f"{where}.kind: unknown kind {kind!r}")
+    op = _require(record, where, "op", str)
+    if op not in OP_NAMES:
+        raise SchemaError(f"{where}.op: unknown operation {op!r}")
+    area = _require(record, where, "area", str)
+    if area not in AREA_NAMES:
+        raise SchemaError(f"{where}.area: unknown area {area!r}")
+    _require(record, where, "detail", str)
+    return record
+
+
+def validate_window(record: Mapping) -> Mapping:
+    where = "window"
+    schema = _require(record, where, "schema", str)
+    if schema != WINDOW_SCHEMA:
+        raise SchemaError(f"{where}.schema: expected {WINDOW_SCHEMA!r}, got {schema!r}")
+    for key in (
+        "index", "start", "refs", "hits", "misses", "cycles", "bus_cycles",
+        "memory_busy_cycles", "lh_responses", "unlocks_with_waiter",
+    ):
+        _require(record, where, key, int)
+    for key in ("miss_ratio", "bus_utilization"):
+        value = _require(record, where, key, (int, float))
+        if not 0.0 <= float(value) <= 1.0 and key == "miss_ratio":
+            raise SchemaError(f"{where}.{key}: {value} outside [0, 1]")
+    for key in ("refs_by_area", "misses_by_area", "bus_cycles_by_area", "pe_cycles"):
+        _require_number_list(record, where, key)
+    if record["refs"] < 1:
+        raise SchemaError(f"{where}.refs: windows are never empty, got {record['refs']}")
+    if record["refs"] != record["hits"] + record["misses"]:
+        raise SchemaError(f"{where}: refs != hits + misses")
+    return record
+
+
+def validate_hotness(record: Mapping) -> Mapping:
+    where = "hotness"
+    schema = _require(record, where, "schema", str)
+    if schema != HOTNESS_SCHEMA:
+        raise SchemaError(f"{where}.schema: expected {HOTNESS_SCHEMA!r}, got {schema!r}")
+    for key in ("block_words", "total_refs", "distinct_blocks", "shared_blocks"):
+        _require(record, where, key, int)
+    _require(record, where, "sharing_histogram", Mapping)
+    top = _require(record, where, "top_blocks", list)
+    for index, entry in enumerate(top):
+        for key in ("block", "address", "refs", "writes", "reads", "pes"):
+            _require(entry, f"{where}.top_blocks[{index}]", key, int)
+        _require(entry, f"{where}.top_blocks[{index}]", "area", str)
+    return record
+
+
+def validate_chrome_trace(record: Mapping) -> Mapping:
+    where = "chrome-trace"
+    events = _require(record, where, "traceEvents", list)
+    other = _require(record, where, "otherData", Mapping)
+    if other.get("schema") != TRACE_SCHEMA:
+        raise SchemaError(f"{where}.otherData.schema: expected {TRACE_SCHEMA!r}")
+    for index, event in enumerate(events):
+        entry = f"{where}.traceEvents[{index}]"
+        phase = _require(event, entry, "ph", str)
+        _require(event, entry, "pid", int)
+        _require(event, entry, "name", str)
+        if phase == "X":
+            ts = _require(event, entry, "ts", (int, float))
+            dur = _require(event, entry, "dur", (int, float))
+            if ts < 0 or dur < 0:
+                raise SchemaError(f"{entry}: negative ts/dur")
+        elif phase == "i":
+            _require(event, entry, "ts", (int, float))
+        elif phase != "M":
+            raise SchemaError(f"{entry}.ph: unexpected phase {phase!r}")
+    return record
+
+
+def validate_jsonl(lines: Iterable[str], validator) -> int:
+    """Validate every JSONL line with *validator*; returns the count."""
+    import json
+
+    count = 0
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise SchemaError(f"line {number}: invalid JSON ({error})") from error
+        validator(record)
+        count += 1
+    return count

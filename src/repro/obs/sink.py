@@ -1,0 +1,124 @@
+"""Event sinks: where the probe's protocol events go.
+
+A sink is anything with ``emit(event)`` and ``close()``.  Two concrete
+sinks cover the two diagnostic styles:
+
+* :class:`RingBufferSink` keeps the last *capacity* events in memory —
+  bounded, so a billion-reference replay cannot exhaust RAM; the drop
+  count records how much history was shed.
+* :class:`JsonlSink` streams every event to a JSON-lines file for
+  offline tooling (``repro events -o``, the Perfetto exporter).
+
+Attaching any sink puts the system on the instrumented path; with no
+sink attached the hot loops are untouched (see
+:meth:`repro.core.system.PIMCacheSystem.attach_probe`).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import IO, Iterable, List, Optional, Union
+
+from repro.obs.events import ProtocolEvent
+
+
+class EventSink:
+    """Base sink: counts emissions, drops everything."""
+
+    def __init__(self) -> None:
+        self.emitted = 0
+
+    def emit(self, event: ProtocolEvent) -> None:
+        self.emitted += 1
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class RingBufferSink(EventSink):
+    """Keep the most recent *capacity* events in a bounded ring."""
+
+    def __init__(self, capacity: int = 65536):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        super().__init__()
+        self.capacity = capacity
+        self._ring: "deque[ProtocolEvent]" = deque(maxlen=capacity)
+
+    @property
+    def dropped(self) -> int:
+        """Events shed off the old end of the ring."""
+        return self.emitted - len(self._ring)
+
+    def emit(self, event: ProtocolEvent) -> None:
+        self.emitted += 1
+        self._ring.append(event)
+
+    @property
+    def events(self) -> List[ProtocolEvent]:
+        """The retained events, oldest first."""
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self):
+        return iter(self._ring)
+
+
+class CollectorSink(EventSink):
+    """Unbounded in-memory sink (tests and small traces only)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events: List[ProtocolEvent] = []
+
+    def emit(self, event: ProtocolEvent) -> None:
+        self.emitted += 1
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
+class JsonlSink(EventSink):
+    """Stream events to a JSON-lines file (one object per line)."""
+
+    def __init__(self, target: Union[str, Path, IO[str]]):
+        super().__init__()
+        if hasattr(target, "write"):
+            self._file: IO[str] = target  # type: ignore[assignment]
+            self._owns = False
+            self.path: Optional[Path] = None
+        else:
+            self.path = Path(target)
+            self._file = open(self.path, "w", encoding="utf-8")
+            self._owns = True
+
+    def emit(self, event: ProtocolEvent) -> None:
+        self.emitted += 1
+        self._file.write(json.dumps(event.to_dict()) + "\n")
+
+    def close(self) -> None:
+        if self._owns and not self._file.closed:
+            self._file.close()
+
+
+def write_events_jsonl(events: Iterable[ProtocolEvent], path: Union[str, Path]) -> Path:
+    """Write an event collection (e.g. a ring's contents) as JSONL."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event.to_dict()) + "\n")
+    return path

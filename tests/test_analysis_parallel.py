@@ -114,3 +114,72 @@ class TestTraceDiskCache:
         workloads = Workloads(scale="tiny")
         assert workloads.trace_path("pascal", 2) is None
         assert len(workloads.trace("pascal", 2)) > 0
+
+
+class TestRunSweepReport:
+    def test_report_carries_manifest_and_fingerprints(self):
+        from repro.analysis.parallel import run_sweep_report
+        from repro.obs.manifest import config_fingerprint
+        from repro.obs.schema import validate_manifest
+
+        trace = generate_random_trace(1500, n_pes=4, seed=5)
+        configs = _sweep_points()
+        report = run_sweep_report(
+            trace, configs, jobs=1, trace_cache_key="unit-test-key"
+        )
+        validate_manifest(report["manifest"])
+        assert report["manifest"]["trace_cache_key"] == "unit-test-key"
+        assert report["manifest"]["extra"]["n_points"] == len(configs)
+        assert len(report["points"]) == len(configs)
+        for config, point in zip(configs, report["points"]):
+            assert point["config_hash"] == config_fingerprint(config)
+            assert point["stats"]["refs"] == replay(trace, config).as_dict()["refs"]
+
+    def test_report_points_match_serial_replay(self):
+        from repro.analysis.parallel import run_sweep_report
+
+        trace = generate_random_trace(800, n_pes=2, seed=6)
+        configs = _sweep_points()
+        report = run_sweep_report(trace, configs, jobs=1)
+        for config, point in zip(configs, report["points"]):
+            assert point["stats"] == replay(trace, config).as_dict()
+
+
+class TestNoSinkOverhead:
+    def test_comparison_intersects_workloads(self):
+        from repro.analysis.bench import compare_no_sink_overhead
+
+        fresh = {"workloads": {
+            "hot": {"refs_per_sec": 980},
+            "random": {"refs_per_sec": 300},
+            "new_only": {"refs_per_sec": 10},
+        }}
+        recorded = {"workloads": {
+            "hot": {"refs_per_sec": 1000},
+            "random": {"refs_per_sec": 250},
+            "old_only": {"refs_per_sec": 99},
+        }}
+        result = compare_no_sink_overhead(fresh, recorded, bound=0.95)
+        assert set(result["workloads"]) == {"hot", "random"}
+        assert result["workloads"]["hot"]["ratio"] == 0.98
+        assert result["min_ratio"] == 0.98
+        assert result["within_bound"] is True
+
+    def test_comparison_flags_violation(self):
+        from repro.analysis.bench import compare_no_sink_overhead
+
+        fresh = {"workloads": {"hot": {"refs_per_sec": 700}}}
+        recorded = {"workloads": {"hot": {"refs_per_sec": 1000}}}
+        result = compare_no_sink_overhead(fresh, recorded, bound=0.95)
+        assert result["min_ratio"] == 0.7
+        assert result["within_bound"] is False
+
+    def test_no_shared_workloads_passes_vacuously(self):
+        from repro.analysis.bench import compare_no_sink_overhead
+
+        result = compare_no_sink_overhead(
+            {"workloads": {"a": {"refs_per_sec": 1}}},
+            {"workloads": {"b": {"refs_per_sec": 1}}},
+        )
+        assert result["min_ratio"] is None
+        assert result["within_bound"] is True

@@ -112,3 +112,123 @@ def test_listing_missing(capsys):
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_profile_benchmark_writes_bundle(tmp_path, capsys):
+    assert main([
+        "profile", "--benchmark", "pascal", "--scale", "tiny", "--pes", "2",
+        "--window", "64", "--out-dir", str(tmp_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "profiled" in out
+    assert "miss ratio" in out
+    stem = "pascal-tiny-2pe"
+    for suffix in (
+        ".trace.json", ".windows.jsonl", ".events.jsonl",
+        ".hotness.json", ".manifest.json",
+    ):
+        assert (tmp_path / f"{stem}{suffix}").exists(), suffix
+
+
+def test_profile_artifacts_are_schema_valid(tmp_path):
+    import json
+
+    from repro.obs import schema
+
+    assert main([
+        "profile", "--benchmark", "pascal", "--scale", "tiny", "--pes", "2",
+        "--window", "128", "--out-dir", str(tmp_path),
+    ]) == 0
+    stem = "pascal-tiny-2pe"
+    schema.validate_manifest(
+        json.loads((tmp_path / f"{stem}.manifest.json").read_text())
+    )
+    schema.validate_chrome_trace(
+        json.loads((tmp_path / f"{stem}.trace.json").read_text())
+    )
+    schema.validate_hotness(
+        json.loads((tmp_path / f"{stem}.hotness.json").read_text())
+    )
+    events = (tmp_path / f"{stem}.events.jsonl").read_text().splitlines()
+    assert schema.validate_jsonl(events, schema.validate_event) > 0
+    windows = (tmp_path / f"{stem}.windows.jsonl").read_text().splitlines()
+    assert schema.validate_jsonl(windows, schema.validate_window) > 0
+
+
+def test_profile_trace_file_source(tmp_path, capsys):
+    trace_file = tmp_path / "t.trace"
+    assert main([
+        "trace", "record", "pascal", "--scale", "tiny", "--pes", "2",
+        "-o", str(trace_file),
+    ]) == 0
+    capsys.readouterr()
+    assert main([
+        "profile", "--trace", str(trace_file), "--pes", "2",
+        "--out-dir", str(tmp_path / "out"),
+    ]) == 0
+    assert (tmp_path / "out" / "t.trace.json").exists()
+
+
+def test_events_prints_human_readable(capsys):
+    assert main([
+        "events", "--benchmark", "pascal", "--scale", "tiny", "--pes", "2",
+        "--limit", "5",
+    ]) == 0
+    out = capsys.readouterr().out
+    lines = [line for line in out.splitlines() if line.startswith("[")]
+    assert len(lines) == 5
+    assert "PE" in lines[0]
+
+
+def test_events_kind_filter(capsys):
+    assert main([
+        "events", "--benchmark", "pascal", "--scale", "tiny", "--pes", "2",
+        "--kind", "bus", "--limit", "0",
+    ]) == 0
+    out = capsys.readouterr().out
+    lines = [line for line in out.splitlines() if line.startswith("[")]
+    assert lines
+    assert all(" bus " in line for line in lines)
+
+
+def test_events_rejects_unknown_kind(capsys):
+    assert main([
+        "events", "--benchmark", "pascal", "--scale", "tiny", "--pes", "2",
+        "--kind", "bogus",
+    ]) == 2
+    assert "unknown event kind" in capsys.readouterr().err
+
+
+def test_events_jsonl_export(tmp_path, capsys):
+    from repro.obs.schema import validate_event, validate_jsonl
+
+    out_file = tmp_path / "events.jsonl"
+    assert main([
+        "events", "--benchmark", "pascal", "--scale", "tiny", "--pes", "2",
+        "-o", str(out_file),
+    ]) == 0
+    lines = out_file.read_text().splitlines()
+    assert validate_jsonl(lines, validate_event) == len(lines) > 0
+
+
+def test_bench_assert_overhead_requires_recorded_report(tmp_path, capsys):
+    missing = tmp_path / "nothing.json"
+    assert main([
+        "bench", "--quick", "-o", str(missing), "--assert-overhead",
+    ]) == 2
+    assert "existing recorded report" in capsys.readouterr().err
+
+
+def test_verbose_flag_enables_library_logging(tmp_path, capsys):
+    import logging
+
+    assert main([
+        "-v", "profile", "--benchmark", "pascal", "--scale", "tiny",
+        "--pes", "2", "--out-dir", str(tmp_path),
+    ]) == 0
+    assert logging.getLogger("repro").level == logging.INFO
+    assert main([
+        "-q", "events", "--benchmark", "pascal", "--scale", "tiny",
+        "--pes", "2", "--limit", "1",
+    ]) == 0
+    assert logging.getLogger("repro").level == logging.ERROR

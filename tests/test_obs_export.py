@@ -1,0 +1,116 @@
+"""Exporters: Chrome trace-event JSON and block hotness histograms."""
+
+import json
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.obs.export import block_histogram, chrome_trace, write_chrome_trace
+from repro.obs.probe import ProtocolProbe
+from repro.obs.schema import validate_chrome_trace, validate_hotness
+from repro.obs.sink import CollectorSink
+from repro.obs.windows import windowed_replay
+from repro.trace.buffer import TraceBuffer
+from repro.trace.events import AREA_BASE, Area, Op
+from repro.trace.synthetic import generate_random_trace
+
+
+def observed_events(trace, n_pes):
+    sink = CollectorSink()
+    windowed_replay(trace, SimulationConfig(), n_pes=n_pes,
+                    probe=ProtocolProbe(sink))
+    return sink.events
+
+
+def test_chrome_trace_structure():
+    trace = generate_random_trace(500, n_pes=4, seed=2)
+    events = observed_events(trace, 4)
+    doc = chrome_trace(events, n_pes=4)
+    validate_chrome_trace(doc)
+    rows = doc["traceEvents"]
+    # Metadata names the bus process, the PE process, and one row per PE.
+    metadata = [r for r in rows if r["ph"] == "M"]
+    thread_names = {
+        r["args"]["name"] for r in metadata if r["name"] == "thread_name"
+    }
+    assert {"PE0", "PE1", "PE2", "PE3"} <= thread_names
+    # Every bus occupancy slice lives on pid 0 with a real duration.
+    slices = [r for r in rows if r["ph"] == "X" and r["pid"] == 0]
+    assert slices
+    assert all(s["dur"] > 0 for s in slices)
+    # State transitions are instants on the issuing PE's row.
+    instants = [r for r in rows if r["ph"] == "i"]
+    assert all(r["pid"] == 1 for r in instants)
+
+
+def test_chrome_trace_lock_slices():
+    buffer = TraceBuffer(n_pes=2)
+    address = AREA_BASE[Area.HEAP]
+    from repro.trace.events import FLAG_LOCK_CONTENDED
+
+    buffer.append(0, Op.LR, Area.HEAP, address)
+    buffer.append(0, Op.U, Area.HEAP, address, FLAG_LOCK_CONTENDED)
+    buffer.append(1, Op.LR, Area.HEAP, address, FLAG_LOCK_CONTENDED)
+    doc = chrome_trace(observed_events(buffer, 2), n_pes=2)
+    validate_chrome_trace(doc)
+    names = [r["name"] for r in doc["traceEvents"]]
+    assert "busy-wait (LH)" in names
+    assert "unlock broadcast (UL)" in names
+
+
+def test_write_chrome_trace_is_loadable_json(tmp_path):
+    trace = generate_random_trace(200, n_pes=2, seed=5)
+    path = write_chrome_trace(
+        observed_events(trace, 2), tmp_path / "t.trace.json", n_pes=2
+    )
+    validate_chrome_trace(json.loads(path.read_text()))
+
+
+def test_block_histogram_counts():
+    buffer = TraceBuffer(n_pes=4)
+    base = AREA_BASE[Area.HEAP]
+    # Block 0 of the heap: three PEs, two writes, four refs total.
+    buffer.append(0, Op.R, Area.HEAP, base + 0)
+    buffer.append(1, Op.W, Area.HEAP, base + 1)
+    buffer.append(2, Op.DW, Area.HEAP, base + 2)
+    buffer.append(0, Op.R, Area.HEAP, base + 3)
+    # A second block, single PE.
+    buffer.append(3, Op.R, Area.HEAP, base + 64)
+    report = block_histogram(buffer, block_words=4, top=5)
+    validate_hotness(report)
+    assert report["total_refs"] == 5
+    assert report["distinct_blocks"] == 2
+    assert report["shared_blocks"] == 1
+    assert report["sharing_histogram"] == {"1": 1, "3": 1}
+    hottest = report["top_blocks"][0]
+    assert hottest["refs"] == 4
+    assert hottest["writes"] == 2
+    assert hottest["reads"] == 2
+    assert hottest["pes"] == 3
+    assert hottest["area"] == "heap"
+    assert hottest["address"] == base
+
+
+def test_block_histogram_respects_block_size():
+    buffer = TraceBuffer(n_pes=1)
+    base = AREA_BASE[Area.GOAL]
+    for offset in range(8):
+        buffer.append(0, Op.R, Area.GOAL, base + offset)
+    assert block_histogram(buffer, block_words=4)["distinct_blocks"] == 2
+    assert block_histogram(buffer, block_words=8)["distinct_blocks"] == 1
+
+
+def test_block_histogram_rejects_bad_block_size():
+    with pytest.raises(ValueError):
+        block_histogram(TraceBuffer(n_pes=1), block_words=3)
+
+
+def test_chrome_trace_infers_pe_count():
+    trace = generate_random_trace(300, n_pes=3, seed=8)
+    doc = chrome_trace(observed_events(trace, 3))
+    names = {
+        r["args"]["name"]
+        for r in doc["traceEvents"]
+        if r["ph"] == "M" and r["name"] == "thread_name"
+    }
+    assert "PE2" in names

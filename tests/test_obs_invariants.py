@@ -1,0 +1,92 @@
+"""REPRO_CHECK_INVARIANTS debug mode and blocked-reference diagnostics."""
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.replay import (
+    DEFAULT_INVARIANT_INTERVAL,
+    ReplayBlockedError,
+    invariant_check_interval,
+    replay,
+)
+from repro.trace.buffer import TraceBuffer
+from repro.trace.events import AREA_BASE, Area, Op
+from repro.trace.synthetic import generate_random_trace
+
+
+@pytest.mark.parametrize("raw", [None, "0", "off", "no", "false", "", "none"])
+def test_interval_disabled(monkeypatch, raw):
+    if raw is None:
+        monkeypatch.delenv("REPRO_CHECK_INVARIANTS", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_CHECK_INVARIANTS", raw)
+    assert invariant_check_interval() is None
+
+
+@pytest.mark.parametrize("raw", ["1", "on", "yes", "true", "ON"])
+def test_interval_default_granularity(monkeypatch, raw):
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", raw)
+    assert invariant_check_interval() == DEFAULT_INVARIANT_INTERVAL
+
+
+def test_interval_explicit_period(monkeypatch):
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "500")
+    assert invariant_check_interval() == 500
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "-3")
+    assert invariant_check_interval() == 1  # clamped to at least 1
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "garbage")
+    assert invariant_check_interval() == DEFAULT_INVARIANT_INTERVAL
+
+
+def test_checked_replay_matches_fast_kernel():
+    trace = generate_random_trace(2000, n_pes=4, seed=21)
+    config = SimulationConfig()
+    checked = replay(trace, config, check_invariants_every=100)
+    assert checked.as_dict() == replay(trace, config).as_dict()
+
+
+def test_env_toggle_routes_to_checked_loop(monkeypatch):
+    trace = generate_random_trace(500, n_pes=2, seed=33)
+    config = SimulationConfig()
+    plain = replay(trace, config)
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "64")
+    assert replay(trace, config).as_dict() == plain.as_dict()
+
+
+def blocking_trace():
+    """PE0 locks a word; PE1 then touches the same block (index 1)."""
+    buffer = TraceBuffer(n_pes=2)
+    address = AREA_BASE[Area.HEAP]
+    buffer.append(0, Op.LR, Area.HEAP, address)
+    buffer.append(1, Op.R, Area.HEAP, address)
+    return buffer
+
+
+def test_fast_kernel_blocked_error_carries_trace_position():
+    with pytest.raises(ReplayBlockedError) as info:
+        replay(blocking_trace(), SimulationConfig())
+    error = info.value
+    assert error.index == 1
+    assert error.pe == 1
+    assert error.op == Op.R
+    assert error.area == Area.HEAP
+    assert error.address == AREA_BASE[Area.HEAP]
+    message = str(error)
+    assert "trace index 1" in message
+    assert "PE1" in message
+    assert "heap" in message
+
+
+def test_checked_loop_blocked_error_carries_trace_position():
+    with pytest.raises(ReplayBlockedError) as info:
+        replay(blocking_trace(), SimulationConfig(), check_invariants_every=1)
+    assert info.value.index == 1
+
+
+def test_machine_run_with_invariant_checking(monkeypatch):
+    from repro.analysis.runner import run_benchmark
+
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "100")
+    result = run_benchmark("pascal", scale="tiny", n_pes=2)
+    assert result.stats is not None
+    assert result.stats.total_refs > 0

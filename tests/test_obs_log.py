@@ -1,0 +1,51 @@
+"""Logging setup: level mapping, idempotent configuration, naming."""
+
+import io
+import logging
+
+from repro.obs.log import (
+    ROOT_LOGGER,
+    configure,
+    get_logger,
+    verbosity_to_level,
+)
+
+
+def test_verbosity_mapping():
+    assert verbosity_to_level(0) == logging.WARNING
+    assert verbosity_to_level(1) == logging.INFO
+    assert verbosity_to_level(2) == logging.DEBUG
+    assert verbosity_to_level(5) == logging.DEBUG
+    assert verbosity_to_level(0, quiet=True) == logging.ERROR
+    assert verbosity_to_level(2, quiet=True) == logging.ERROR
+
+
+def test_get_logger_prefixes_package():
+    assert get_logger("analysis.runner").name == "repro.analysis.runner"
+    assert get_logger().name == ROOT_LOGGER
+    assert get_logger("repro.core").name == "repro.core"
+
+
+def test_configure_is_idempotent():
+    logger = configure(1)
+    count = len(logger.handlers)
+    configure(2)
+    configure(0, quiet=True)
+    assert len(logger.handlers) == count
+    assert logger.level == logging.ERROR
+    assert logger.propagate is False
+
+
+def test_messages_reach_the_configured_stream():
+    stream = io.StringIO()
+    configure(1, stream=stream)
+    get_logger("unit.test").info("windowed %d", 42)
+    assert "windowed 42" in stream.getvalue()
+    assert "repro.unit.test" in stream.getvalue()
+
+
+def test_debug_suppressed_at_info_level():
+    stream = io.StringIO()
+    configure(1, stream=stream)
+    get_logger("unit.test").debug("hidden detail")
+    assert "hidden detail" not in stream.getvalue()

@@ -1,0 +1,152 @@
+"""Property: sharded replay + merge is counter-for-counter exact.
+
+:func:`~repro.analysis.parallel.run_sweep` style workers replay
+independent traces and fold the parts with :meth:`SystemStats.merge`.
+These tests pin the merge semantics: every counter and matrix sums,
+``lock_dir_max_occupancy`` takes the maximum (a high-water mark), and
+``pe_cycles`` adds element-wise with zero-padding when PE counts differ.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SimulationConfig
+from repro.core.replay import replay
+from repro.core.stats import N_AREAS, N_OPS, SystemStats
+from repro.trace.buffer import TraceBuffer
+from repro.trace.synthetic import generate_random_trace
+
+
+def shard(buffer: TraceBuffer, cuts):
+    """Split a trace at the given sorted cut indices."""
+    columns = list(zip(*buffer.columns()))
+    bounds = [0] + list(cuts) + [len(columns)]
+    shards = []
+    for lo, hi in zip(bounds, bounds[1:]):
+        part = TraceBuffer(n_pes=buffer.n_pes)
+        for pe, op, area, addr, flags in columns[lo:hi]:
+            part.append(pe, op, area, addr, flags)
+        shards.append(part)
+    return shards
+
+
+def manual_fold(parts):
+    """Independent reference fold of the documented merge semantics."""
+    n_pes = max(p.n_pes for p in parts)
+    expected = {
+        "refs": [
+            [sum(p.refs[a][o] for p in parts) for o in range(N_OPS)]
+            for a in range(N_AREAS)
+        ],
+        "hits": [
+            [sum(p.hits[a][o] for p in parts) for o in range(N_OPS)]
+            for a in range(N_AREAS)
+        ],
+        "pattern_counts": [
+            sum(p.pattern_counts[i] for p in parts)
+            for i in range(len(parts[0].pattern_counts))
+        ],
+        "pattern_cycles": [
+            sum(p.pattern_cycles[i] for p in parts)
+            for i in range(len(parts[0].pattern_cycles))
+        ],
+        "bus_cycles_by_area": [
+            sum(p.bus_cycles_by_area[a] for p in parts)
+            for a in range(N_AREAS)
+        ],
+        "lock_dir_max_occupancy": max(
+            p.lock_dir_max_occupancy for p in parts
+        ),
+        "pe_cycles": [
+            sum(p.pe_cycles[pe] for p in parts if pe < p.n_pes)
+            for pe in range(n_pes)
+        ],
+    }
+    for name in SystemStats._SUM_FIELDS:
+        expected[name] = sum(getattr(p, name) for p in parts)
+    return expected
+
+
+def assert_matches_fold(merged, parts):
+    expected = manual_fold(parts)
+    assert merged.refs == expected["refs"]
+    assert merged.hits == expected["hits"]
+    assert merged.pattern_counts == expected["pattern_counts"]
+    assert merged.pattern_cycles == expected["pattern_cycles"]
+    assert merged.bus_cycles_by_area == expected["bus_cycles_by_area"]
+    assert merged.lock_dir_max_occupancy == expected["lock_dir_max_occupancy"]
+    assert merged.pe_cycles == expected["pe_cycles"]
+    for name in SystemStats._SUM_FIELDS:
+        assert getattr(merged, name) == expected[name], name
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**20),
+    n_refs=st.integers(min_value=10, max_value=600),
+    data=st.data(),
+)
+def test_sharded_replay_merges_to_manual_fold(seed, n_refs, data):
+    trace = generate_random_trace(n_refs, n_pes=4, seed=seed)
+    n_cuts = data.draw(st.integers(min_value=0, max_value=4))
+    cuts = sorted(
+        data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_refs),
+                min_size=n_cuts,
+                max_size=n_cuts,
+            )
+        )
+    )
+    parts = [
+        replay(piece, SimulationConfig())
+        for piece in shard(trace, cuts)
+        if len(piece)
+    ]
+    merged = SystemStats.merged(parts)
+    assert_matches_fold(merged, parts)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**20))
+def test_merge_is_grouping_invariant(seed):
+    trace = generate_random_trace(300, n_pes=4, seed=seed)
+    parts = [
+        replay(piece, SimulationConfig())
+        for piece in shard(trace, [100, 200])
+    ]
+    all_at_once = SystemStats.merged(parts)
+    pairwise = SystemStats.merged(
+        [SystemStats.merged(parts[:2]), SystemStats.merged(parts[2:])]
+    )
+    assert all_at_once.as_dict() == pairwise.as_dict()
+
+
+def test_merge_zero_pads_differing_pe_counts():
+    narrow = SystemStats(2)
+    narrow.pe_cycles = [10, 20]
+    narrow.lock_dir_max_occupancy = 3
+    wide = SystemStats(4)
+    wide.pe_cycles = [1, 2, 3, 4]
+    wide.lock_dir_max_occupancy = 2
+    merged = SystemStats.merged([narrow, wide])
+    assert merged.n_pes == 4
+    assert merged.pe_cycles == [11, 22, 3, 4]
+    assert merged.lock_dir_max_occupancy == 3
+    # And in the other direction (wide first).
+    merged = SystemStats.merged([wide, narrow])
+    assert merged.pe_cycles == [11, 22, 3, 4]
+
+
+def test_lock_counters_survive_sharded_merge():
+    # A trace with real lock traffic, split mid-stream.
+    trace = generate_random_trace(400, n_pes=4, seed=123)
+    whole = replay(trace, SimulationConfig())
+    parts = [
+        replay(piece, SimulationConfig()) for piece in shard(trace, [137])
+    ]
+    merged = SystemStats.merged(parts)
+    # Reference histograms are position-independent, so they must agree
+    # with the unsharded run exactly (cache state does not change what
+    # was *issued*, only hits/misses and traffic).
+    assert merged.refs == whole.refs
+    assert merged.total_refs == whole.total_refs

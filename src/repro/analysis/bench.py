@@ -177,6 +177,7 @@ def run_bench(
         hits = sum(sum(row) for row in stats.hits)
         baseline = BASELINE_REFS_PER_SEC.get(name)
         report["workloads"][name] = {
+            "protocol": SimulationConfig().protocol,
             "refs": len(buffer),
             "hit_ratio": round(hits / total, 4) if total else 0.0,
             "bus_cycles": stats.bus_cycles_total,

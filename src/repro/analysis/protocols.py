@@ -1,0 +1,65 @@
+"""Cross-protocol comparison: one trace, every registered protocol.
+
+The protocol registry makes protocol ablations cheap; this module turns
+them into a table.  :func:`protocol_comparison` replays one captured
+trace under each requested protocol and collects the headline counters;
+:func:`format_protocol_comparison` renders them with the shared ASCII
+table formatter.  Used by ``repro compare`` and the report's protocol
+matrix section.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.analysis.formatting import format_table
+from repro.core.config import SimulationConfig
+from repro.core.illinois import compare_protocols
+from repro.core.protocol import protocol_names
+from repro.trace.buffer import TraceBuffer
+
+#: Columns of the comparison table: (header, stats key, formatter).
+_COLUMNS = (
+    ("bus cycles", "bus_cycles", "{:,}".format),
+    ("mem busy", "memory_busy_cycles", "{:,}".format),
+    ("swap outs", "swap_outs", "{:,}".format),
+    ("c2c", "c2c_transfers", "{:,}".format),
+    ("miss ratio", "miss_ratio", "{:.4f}".format),
+)
+
+
+def protocol_comparison(
+    buffer: TraceBuffer,
+    base: Optional[SimulationConfig] = None,
+    protocols: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Replay *buffer* under each protocol (default: the full registry)."""
+    if protocols is None:
+        protocols = protocol_names()
+    return compare_protocols(buffer, base, protocols)
+
+
+def format_protocol_comparison(
+    comparison: Dict[str, Dict[str, float]],
+    title: str = "Cross-protocol comparison",
+) -> str:
+    """Render a :func:`protocol_comparison` result as an ASCII table.
+
+    Adds a ``vs pim`` column (bus-cycle ratio against the ``pim`` row)
+    whenever the comparison includes the paper's protocol.
+    """
+    reference = comparison.get("pim")
+    headers = ["protocol"] + [header for header, _, _ in _COLUMNS]
+    if reference:
+        headers.append("bus vs pim")
+    rows = []
+    for name, entry in comparison.items():
+        row = [name] + [fmt(entry[key]) for _, key, fmt in _COLUMNS]
+        if reference:
+            row.append(
+                "{:.2f}x".format(
+                    entry["bus_cycles"] / max(reference["bus_cycles"], 1)
+                )
+            )
+        rows.append(tuple(row))
+    return format_table(tuple(headers), rows, title=title)

@@ -25,6 +25,12 @@ Commands
     metrics, event stream, hotness histogram, manifest).
 ``events``
     Print (or export) the structured protocol event stream of a replay.
+``protocols``
+    List the registered coherence protocols, or render one spec's
+    LOCKE-style transition table with ``--spec NAME``.
+``compare``
+    Replay one trace under several registered protocols and print the
+    cross-protocol comparison table.
 
 Global ``-v``/``-vv`` and ``-q`` control library logging (the
 :mod:`repro.obs.log` hierarchy); they go before the subcommand.
@@ -46,6 +52,7 @@ from repro.core.config import (
     OptimizationConfig,
     SimulationConfig,
 )
+from repro.core.protocol import get_protocol, is_registered, protocol_names
 from repro.core.replay import replay
 from repro.machine.compiler import compile_program
 from repro.machine.machine import KL1Machine
@@ -84,7 +91,9 @@ def _sim_config(args) -> SimulationConfig:
     )
 
 
-def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+def _add_cache_options(
+    parser: argparse.ArgumentParser, protocol: bool = True
+) -> None:
     parser.add_argument("--capacity", type=int, default=4096,
                         help="cache data capacity in words (default 4096)")
     parser.add_argument("--block-words", type=int, default=4,
@@ -93,8 +102,11 @@ def _add_cache_options(parser: argparse.ArgumentParser) -> None:
                         help="set associativity (default 4)")
     parser.add_argument("--bus-width", type=int, default=1,
                         help="bus width in words (default 1)")
-    parser.add_argument("--protocol", default="pim",
-                        choices=["pim", "illinois", "write_through", "write_update"])
+    if protocol:
+        parser.add_argument("--protocol", default="pim",
+                            choices=list(protocol_names()),
+                            help="registered coherence protocol "
+                                 "(see `repro protocols`)")
     parser.add_argument("--no-opt", action="store_true",
                         help="demote DW/ER/RP/RI to plain reads and writes")
 
@@ -359,6 +371,73 @@ def cmd_events(args) -> int:
     return 0
 
 
+def cmd_protocols(args) -> int:
+    from repro.analysis.formatting import format_table
+
+    if args.spec:
+        try:
+            spec = get_protocol(args.spec)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+        print(spec.render_table())
+        print()
+        print(spec.description)
+        return 0
+    rows = []
+    for name in protocol_names():
+        summary = get_protocol(name).summary()
+        rows.append((
+            summary["name"],
+            summary["title"],
+            summary["write_policy"],
+            "yes" if summary["write_allocate"] else "no",
+            ",".join(summary["silent_store_states"]) or "-",
+            "yes" if summary["dirty_transfer_copyback"] else "no",
+        ))
+    print(format_table(
+        ("name", "title", "write policy", "allocate",
+         "silent stores", "dirty c2c copyback"),
+        rows,
+        title="Registered coherence protocols "
+              "(`repro protocols --spec NAME` for the transition table)",
+    ))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.analysis.protocols import (
+        format_protocol_comparison,
+        protocol_comparison,
+    )
+
+    if args.protocol:
+        protocols = [p.strip() for p in args.protocol.split(",") if p.strip()]
+        unknown = [p for p in protocols if not is_registered(p)]
+        if unknown:
+            print(f"error: unknown protocol(s) {', '.join(unknown)} "
+                  f"(choose from {', '.join(protocol_names())})",
+                  file=sys.stderr)
+            return 2
+    else:
+        protocols = None
+    buffer, name, pes, _ = _replay_source(args)
+    cache = CacheConfig.from_capacity(
+        args.capacity, block_words=args.block_words, associativity=args.ways
+    )
+    opts = OptimizationConfig.none() if args.no_opt else OptimizationConfig.all()
+    base = SimulationConfig(
+        cache=cache, bus=BusConfig(width_words=args.bus_width), opts=opts
+    )
+    comparison = protocol_comparison(buffer, base, protocols)
+    print(format_protocol_comparison(
+        comparison,
+        title=f"Cross-protocol comparison on {name} "
+              f"({len(buffer):,} refs, {pes} PEs)",
+    ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -503,6 +582,36 @@ def build_parser() -> argparse.ArgumentParser:
                                help="write JSONL instead of printing")
     _add_cache_options(events_parser)
     events_parser.set_defaults(handler=cmd_events)
+
+    protocols_parser = commands.add_parser(
+        "protocols", help="list the registered coherence protocols"
+    )
+    protocols_parser.add_argument("--spec", metavar="NAME",
+                                  help="render one protocol's transition "
+                                       "table instead of the listing")
+    protocols_parser.set_defaults(handler=cmd_protocols)
+
+    compare_parser = commands.add_parser(
+        "compare",
+        help="replay one trace under several protocols and compare",
+    )
+    compare_source = compare_parser.add_mutually_exclusive_group(required=True)
+    compare_source.add_argument("--benchmark",
+                                choices=list(benchmark_names()),
+                                help="compare on a paper benchmark's trace "
+                                     "(via the trace cache)")
+    compare_source.add_argument("--trace",
+                                help="compare on a recorded trace file")
+    compare_parser.add_argument("--scale", default="small",
+                                choices=["tiny", "small", "medium", "paper"])
+    compare_parser.add_argument("--pes", type=int, default=8,
+                                help="PE count (with --trace, 0 means "
+                                     "the trace's own)")
+    compare_parser.add_argument("--protocol", metavar="A,B,...",
+                                help="comma-separated protocols to compare "
+                                     "(default: every registered protocol)")
+    _add_cache_options(compare_parser, protocol=False)
+    compare_parser.set_defaults(handler=cmd_compare)
 
     return parser
 

@@ -30,7 +30,13 @@ from repro.core.states import (
 from repro.core.stats import SystemStats
 from repro.core.system import BLOCKED, PIMCacheSystem
 from repro.core.replay import replay
-from repro.core.illinois import illinois_config, pim_config
+from repro.core.illinois import illinois_config, pim_config, protocol_config
+from repro.core.protocol import (
+    ProtocolSpec,
+    get_protocol,
+    protocol_names,
+    register,
+)
 
 __all__ = [
     "BLOCKED",
@@ -43,9 +49,14 @@ __all__ = [
     "MachineConfig",
     "OptimizationConfig",
     "PIMCacheSystem",
+    "ProtocolSpec",
     "SimulationConfig",
     "SystemStats",
+    "get_protocol",
     "illinois_config",
     "pim_config",
+    "protocol_config",
+    "protocol_names",
+    "register",
     "replay",
 ]

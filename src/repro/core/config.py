@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field, replace
 
+from repro.core.protocol import is_registered, protocol_names
 from repro.core.states import BusPattern
 from repro.trace.events import Area, Op
 
@@ -218,13 +219,16 @@ class SimulationConfig:
     cache: CacheConfig = field(default_factory=CacheConfig)
     bus: BusConfig = field(default_factory=BusConfig)
     opts: OptimizationConfig = field(default_factory=OptimizationConfig)
+    #: Name of a protocol registered in :mod:`repro.core.protocol` —
+    #: validated against the registry at construction.  The built-ins:
     #: ``"pim"`` keeps dirty blocks dirty across cache-to-cache transfers
     #: (the SM state); ``"illinois"`` copies dirty blocks back to shared
-    #: memory on every transfer, as the Illinois protocol does.  The
+    #: memory on every transfer, as the Illinois protocol does; the
     #: Section 3 ablation baselines ``"write_through"`` (write-through
     #: with invalidation, no write-allocate) and ``"write_update"``
-    #: (write-through with broadcast update of remote copies) exist to
-    #: reproduce the copy-back and invalidation-vs-broadcast arguments.
+    #: (write-through with broadcast update of remote copies) reproduce
+    #: the copy-back and invalidation-vs-broadcast arguments; and
+    #: ``"write_once"`` is Goodman's classic hybrid.
     protocol: str = "pim"
     #: Nominal hardware lock-directory capacity per PE.  Occupancy beyond
     #: this is allowed but counted, to validate the paper's claim that
@@ -235,13 +239,12 @@ class SimulationConfig:
     track_data: bool = False
 
     def __post_init__(self) -> None:
-        if self.protocol not in (
-            "pim",
-            "illinois",
-            "write_through",
-            "write_update",
-        ):
-            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if not is_registered(self.protocol):
+            known = ", ".join(protocol_names())
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; "
+                f"registered protocols: {known}"
+            )
         if self.lock_entries < 1:
             raise ValueError(f"lock_entries must be >= 1, got {self.lock_entries}")
 

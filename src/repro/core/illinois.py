@@ -1,4 +1,4 @@
-"""The Illinois-protocol baseline for the SM-state ablation (Section 3.1).
+"""Cross-protocol ablations (Section 3.1's SM argument and beyond).
 
 The PIM protocol is the Illinois protocol (Papamarcos & Patel, ISCA '84)
 plus the shared-modified state ``SM``.  Without SM, every cache-to-cache
@@ -7,49 +7,63 @@ shared memory, so the block becomes clean everywhere; the paper keeps
 SM because KL1's cache-to-cache rate is high enough that those copybacks
 drive up the busy ratio of the shared-memory modules.
 
-``protocol="illinois"`` in :class:`~repro.core.config.SimulationConfig`
-selects the copyback-on-transfer behaviour; this module provides the
-convenience constructors and the comparison used by the ablation bench.
+Historically this module compared exactly ``pim`` against ``illinois``;
+with the protocol registry (:mod:`repro.core.protocol`) it now replays
+one trace under any set of registered protocols — :func:`compare_protocols`
+defaults to the original pair, and passing ``protocols=protocol_names()``
+sweeps the whole registry (what ``repro compare`` and the report's
+protocol matrix do).
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict
+from typing import Dict, Optional, Sequence
 
 from repro.core.config import SimulationConfig
+from repro.core.protocol import get_protocol
 from repro.core.replay import replay
 from repro.trace.buffer import TraceBuffer
 
 
+def protocol_config(
+    name: str, base: Optional[SimulationConfig] = None
+) -> SimulationConfig:
+    """Copy of *base* (default config if None) running protocol *name*."""
+    get_protocol(name)  # fail fast with the registered-names list
+    base = base if base is not None else SimulationConfig()
+    return replace(base, protocol=name)
+
+
 def pim_config(base: SimulationConfig = None) -> SimulationConfig:
     """A config using the full five-state PIM protocol."""
-    base = base if base is not None else SimulationConfig()
-    return replace(base, protocol="pim")
+    return protocol_config("pim", base)
 
 
 def illinois_config(base: SimulationConfig = None) -> SimulationConfig:
     """The same config with the Illinois (no-SM) protocol."""
-    base = base if base is not None else SimulationConfig()
-    return replace(base, protocol="illinois")
+    return protocol_config("illinois", base)
 
 
 def compare_protocols(
-    buffer: TraceBuffer, base: SimulationConfig = None
+    buffer: TraceBuffer,
+    base: Optional[SimulationConfig] = None,
+    protocols: Optional[Sequence[str]] = None,
 ) -> Dict[str, Dict[str, float]]:
-    """Replay *buffer* under both protocols and summarize the ablation.
+    """Replay *buffer* under several protocols and summarize the ablation.
 
     Returns, per protocol, total bus cycles, shared-memory busy cycles,
-    swap-out count and cache-to-cache transfer count.  The expected shape
-    (the paper's rationale for SM): Illinois performs strictly more
-    memory copybacks whenever dirty blocks move cache-to-cache.
+    swap-out count and cache-to-cache transfer count.  *protocols*
+    defaults to the original SM ablation pair ``("pim", "illinois")``,
+    whose expected shape (the paper's rationale for SM) is that Illinois
+    performs strictly more memory copybacks whenever dirty blocks move
+    cache-to-cache.
     """
+    if protocols is None:
+        protocols = ("pim", "illinois")
     results = {}
-    for name, config in (
-        ("pim", pim_config(base)),
-        ("illinois", illinois_config(base)),
-    ):
-        stats = replay(buffer, config)
+    for name in protocols:
+        stats = replay(buffer, protocol_config(name, base))
         results[name] = {
             "bus_cycles": stats.bus_cycles_total,
             "memory_busy_cycles": stats.memory_busy_cycles,

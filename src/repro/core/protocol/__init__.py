@@ -1,0 +1,44 @@
+"""Table-driven coherence-protocol layer.
+
+:mod:`repro.core.protocol.spec` defines the declarative
+:class:`ProtocolSpec` transition tables;
+:mod:`repro.core.protocol.registry` holds the named registry and the
+five built-in protocols (``pim``, ``illinois``, ``write_through``,
+``write_update``, ``write_once``).  This package depends only on
+:mod:`repro.core.states` so that config, system and replay can all
+import it without cycles.
+"""
+
+from repro.core.protocol.registry import (
+    ILLINOIS,
+    PIM,
+    WRITE_ONCE,
+    WRITE_THROUGH,
+    WRITE_UPDATE,
+    get_protocol,
+    is_registered,
+    protocol_names,
+    register,
+)
+from repro.core.protocol.spec import (
+    ProtocolSpec,
+    RemoteAction,
+    StoreRule,
+    SupplierRule,
+)
+
+__all__ = [
+    "ILLINOIS",
+    "PIM",
+    "WRITE_ONCE",
+    "WRITE_THROUGH",
+    "WRITE_UPDATE",
+    "ProtocolSpec",
+    "RemoteAction",
+    "StoreRule",
+    "SupplierRule",
+    "get_protocol",
+    "is_registered",
+    "protocol_names",
+    "register",
+]

@@ -1,0 +1,293 @@
+"""Declarative coherence-protocol specification tables.
+
+The paper's cache is one member of a protocol *family*: the five-state
+PIM design is the Illinois protocol plus the shared-modified state, and
+Section 3 evaluates it against write-through and broadcast-update
+baselines.  Following the LOCKE / BedRock idiom of expressing snooping
+protocols as state-transition specification tables, this module makes
+the family explicit: a :class:`ProtocolSpec` is a pure-data description
+of how one protocol behaves at every variant point of the controller,
+and :class:`~repro.core.system.PIMCacheSystem` compiles its handlers
+from that table instead of branching on hard-coded protocol names.
+
+A spec answers exactly four questions (the columns of the LOCKE-style
+tables in ``docs/PROTOCOLS.md``):
+
+* **store table** — for a ``W`` by the local PE, per local block state
+  (``INV`` is the miss row): is the word written through to shared
+  memory, is the block allocated on a miss, what happens to remote
+  copies, and what is the local copy's next state?
+* **supplier table** — when this cache services a remote fetch (``F``),
+  what state does its copy drop to and does dirty data copy back to
+  shared memory during the transfer?
+* **fetch-invalidate copyback** — when a dirty block is consumed by a
+  fetch-and-invalidate (``FI``, or an ``RP`` transfer), does the data
+  copy back to memory on the way?
+
+Everything else — bus arbitration and pattern costs, victim selection
+and swap-outs, the lock directory, the DW/ER/RP/RI optimized commands —
+is protocol-*agnostic* controller machinery and stays fixed across the
+family (the optimized commands interact with the spec only through the
+store table's silent rows and the generic fetch machinery).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.states import CacheState
+
+__all__ = [
+    "ProtocolSpec",
+    "RemoteAction",
+    "StoreRule",
+    "SupplierRule",
+]
+
+_STATE_ORDER = tuple(CacheState)
+_VALID_STATES = tuple(s for s in CacheState if s is not CacheState.INV)
+_DIRTY = (CacheState.SM, CacheState.EM)
+
+
+class RemoteAction(enum.Enum):
+    """What a store does to remote copies of the block."""
+
+    NONE = "none"  #: remote copies are untouched
+    INVALIDATE = "invalidate"  #: remote copies are killed (I / FI)
+    UPDATE = "update"  #: remote copies are patched in place (broadcast write)
+
+
+@dataclass(frozen=True)
+class StoreRule:
+    """One row of the store table: what a ``W`` does in one local state.
+
+    The bus consequence is fully derived, never stated:
+
+    * ``through`` — the word is written to shared memory over the bus
+      (the ``WRITE_THROUGH`` pattern, plus memory-module busy time).
+    * ``allocate`` (miss row only) — the block is fetched exclusively
+      (``FI``; pattern chosen by the controller from supplier/victim
+      state) before the write completes in cache.
+    * neither, with ``remote=INVALIDATE`` — an ``I`` broadcast (the
+      ``INVALIDATION`` pattern).
+    * neither, with ``remote=NONE`` — a silent zero-bus write hit.
+
+    ``next_state`` of ``None`` leaves the local state unchanged (and,
+    on the miss row, means no allocation: the block stays uncached).
+    """
+
+    next_state: Optional[CacheState] = None
+    remote: RemoteAction = RemoteAction.NONE
+    through: bool = False
+    allocate: bool = False
+
+    @property
+    def silent(self) -> bool:
+        """True when this store needs no bus transaction at all."""
+        return (
+            not self.through
+            and not self.allocate
+            and self.remote is RemoteAction.NONE
+        )
+
+
+@dataclass(frozen=True)
+class SupplierRule:
+    """One row of the supplier table: servicing a remote plain fetch.
+
+    ``copyback`` only matters when the supplied copy is dirty: True
+    writes the data back to shared memory during the transfer (the
+    Illinois behaviour), False keeps ownership with the supplier (the
+    SM state, the paper's contribution).
+    """
+
+    next_state: CacheState
+    copyback: bool = False
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """A complete, declarative description of one coherence protocol."""
+
+    name: str
+    title: str
+    description: str
+    #: state -> StoreRule; must cover all five states (INV = write miss).
+    store: Mapping[CacheState, StoreRule] = field(default_factory=dict)
+    #: valid state -> SupplierRule; must cover S, SM, EC, EM.
+    supplier: Mapping[CacheState, SupplierRule] = field(default_factory=dict)
+    #: Dirty data consumed by FI (write-miss fetch, LR/RI fetch, RP
+    #: transfer) copies back to shared memory during the transfer.
+    fetch_inval_copyback: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise ValueError(
+                f"protocol name must be a non-empty identifier, got {self.name!r}"
+            )
+        missing = [s.name for s in _STATE_ORDER if s not in self.store]
+        if missing:
+            raise ValueError(
+                f"protocol {self.name!r}: store table missing states {missing}"
+            )
+        missing = [s.name for s in _VALID_STATES if s not in self.supplier]
+        if missing:
+            raise ValueError(
+                f"protocol {self.name!r}: supplier table missing states {missing}"
+            )
+        for state, rule in self.store.items():
+            if rule.allocate and state is not CacheState.INV:
+                raise ValueError(
+                    f"protocol {self.name!r}: store rule for {state.name} sets "
+                    "allocate, which only applies to the INV (miss) row"
+                )
+        for state in _DIRTY:
+            rule = self.store[state]
+            if (
+                rule.silent
+                and rule.next_state is not None
+                and rule.next_state not in _DIRTY
+            ):
+                raise ValueError(
+                    f"protocol {self.name!r}: a silent store in {state.name} "
+                    f"cannot drop to clean {rule.next_state.name} — the "
+                    "block's other words would lose their copy-back duty"
+                )
+        for state, rule in self.supplier.items():
+            if state not in _DIRTY and rule.copyback:
+                raise ValueError(
+                    f"protocol {self.name!r}: supplier rule for clean "
+                    f"{state.name} sets copyback"
+                )
+
+    # -- derived shape queries (used by the compiled system and kernel) --
+
+    @property
+    def all_through(self) -> bool:
+        """Every store goes through to memory (pure write-through family)."""
+        return all(self.store[s].through for s in _STATE_ORDER)
+
+    @property
+    def write_allocates(self) -> bool:
+        """A write miss fetches the block (fetch-on-write)."""
+        return self.store[CacheState.INV].allocate
+
+    @property
+    def has_silent_stores(self) -> bool:
+        """Some hit state absorbs writes with zero bus cycles."""
+        return any(
+            self.store[s].silent for s in _STATE_ORDER if s is not CacheState.INV
+        )
+
+    def silent_store_next(self) -> Tuple[Optional[CacheState], ...]:
+        """Per-state (indexed by ``CacheState``) next state of a silent
+        store hit, or ``None`` where the store needs the bus.  This is
+        the table the replay fast path inlines write hits from."""
+        out = []
+        for state in _STATE_ORDER:
+            rule = self.store[state]
+            if state is not CacheState.INV and rule.silent:
+                out.append(
+                    rule.next_state if rule.next_state is not None else state
+                )
+            else:
+                out.append(None)
+        return tuple(out)
+
+    def supplier_rules(self) -> Tuple[Tuple[CacheState, bool], ...]:
+        """Per-state ``(next_state, copyback)``, indexed by ``CacheState``
+        (the INV row is an unused identity)."""
+        out = []
+        for state in _STATE_ORDER:
+            rule = self.supplier.get(state)
+            if rule is None:
+                out.append((state, False))
+            else:
+                out.append((rule.next_state, rule.copyback))
+        return tuple(out)
+
+    # -- documentation rendering ----------------------------------------
+
+    def transition_rows(self):
+        """LOCKE-style rows: (state, store action, next, remote, supplier).
+
+        One row per cache state, describing the full store-table and
+        supplier-table entry for that state in words.
+        """
+        rows = []
+        for state in _STATE_ORDER:
+            rule = self.store[state]
+            if state is CacheState.INV:
+                if rule.allocate:
+                    action = "fetch-exclusive (FI)"
+                elif rule.through:
+                    action = "write through, no allocate"
+                else:
+                    action = "none"
+            elif rule.silent:
+                action = "silent (0 bus cycles)"
+            elif rule.through:
+                action = "write through (word)"
+            else:
+                action = "invalidate broadcast (I)"
+            next_state = (
+                rule.next_state.name if rule.next_state is not None
+                else ("-" if state is CacheState.INV else state.name)
+            )
+            supplier = self.supplier.get(state)
+            if supplier is None:
+                supplied = "-"
+            else:
+                supplied = supplier.next_state.name
+                if supplier.copyback:
+                    supplied += " +copyback"
+            rows.append(
+                (state.name, action, next_state, rule.remote.value, supplied)
+            )
+        return rows
+
+    def render_table(self) -> str:
+        """Render the spec as an aligned ASCII specification table."""
+        headers = ("state", "store (W)", "next", "remote", "on F (supplier)")
+        rows = [tuple(str(c) for c in row) for row in self.transition_rows()]
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in rows))
+            for i in range(len(headers))
+        ]
+        lines = [
+            f"{self.title} ({self.name})",
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append(
+            "FI consumes dirty data "
+            + (
+                "with a copyback to shared memory"
+                if self.fetch_inval_copyback
+                else "without touching shared memory"
+            )
+            + "."
+        )
+        return "\n".join(lines)
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-ready one-line summary (the ``repro protocols`` listing)."""
+        return {
+            "name": self.name,
+            "title": self.title,
+            "write_policy": "write-through" if self.all_through else "copy-back",
+            "write_allocate": self.write_allocates,
+            "silent_store_states": [
+                s.name
+                for s in _STATE_ORDER
+                if s is not CacheState.INV and self.store[s].silent
+            ],
+            "dirty_transfer_copyback": any(
+                self.supplier[s].copyback for s in _DIRTY
+            ),
+            "description": self.description,
+        }

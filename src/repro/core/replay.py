@@ -18,7 +18,6 @@ from collections import Counter
 from typing import Iterable, Optional
 
 from repro.core.config import SimulationConfig
-from repro.core.states import CacheState
 from repro.core.stats import SystemStats
 from repro.core.system import BLOCKED, N_AREAS, N_OPS, PIMCacheSystem
 from repro.trace.buffer import TraceBuffer
@@ -217,15 +216,19 @@ def replay(
         pe_cycles = system._pe_cycles
         block_mask = system._block_mask
         stats = system.stats
-        EM = CacheState.EM
-        EC = CacheState.EC
         # Handler handles must come from the table: ``system._read``
         # would create a fresh bound-method object that is equal to but
         # not identical with the table cells.  A ``None`` handle simply
         # never matches (``handler is None`` cannot fire).
         read_h = table[Op.R][0]
         er_h = next((h for h in table[Op.ER] if h is not read_h), None)
-        if system._write_through:
+        # The spec's silent-store table drives the inlined write hits: a
+        # state whose entry is non-None absorbs the store with zero bus
+        # cycles.  A protocol with no silent states (the write-through
+        # family) disables the write fast path outright so writes skip
+        # the extra cache probe.
+        silent_next = system._store_silent_next
+        if not any(state is not None for state in silent_next):
             write_h = dw_h = None
         else:
             write_h = table[Op.W][0]
@@ -261,13 +264,13 @@ def replay(
                 elif handler is dw_h or handler is write_h:
                     line = probes[pe](block)
                     if line is not None:
-                        state = line.state
-                        if state is EM or state is EC:
+                        next_state = silent_next[line.state]
+                        if next_state is not None:
                             if handler is dw_h:
                                 stats.dw_demotions += 1
                             gtick += 1
                             line.lru = gtick
-                            line.state = EM
+                            line.state = next_state
                             hits[area][op] += 1
                             pe_cycles[pe] += 1
                             continue

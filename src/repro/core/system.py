@@ -10,8 +10,11 @@ Protocol summary (Section 3, DESIGN.md has the full rationale):
 
 * plain read miss → ``F``; served cache-to-cache when possible, with *no*
   copyback of dirty data (the supplier keeps ownership in ``SM``) under
-  the PIM protocol, or with an Illinois-style copyback when
-  ``protocol="illinois"``.
+  the PIM protocol, or with an Illinois-style copyback when the active
+  :class:`~repro.core.protocol.ProtocolSpec` says so.  All protocol
+  variant points — the store table, the supplier table, and the
+  FI-copyback policy — are compiled from the registered spec in
+  ``__init__``; the handlers below are the protocol-agnostic controller.
 * write hit in S/SM → ``I`` broadcast (the cache cannot know whether
   sharers actually exist — that is exactly what EM/EC save); write miss
   → ``FI``.
@@ -38,6 +41,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.cache import Cache
 from repro.core.config import SimulationConfig
 from repro.core.lock_directory import LockDirectory
+from repro.core.protocol import RemoteAction, get_protocol
 from repro.core.states import (
     DIRTY_STATES,
     BusCommand,
@@ -97,9 +101,17 @@ class PIMCacheSystem:
         "_block_words",
         "_block_mask",
         "_block_shift",
-        "_illinois",
-        "_write_through",
-        "_write_update",
+        "protocol_spec",
+        "_supplier_rules",
+        "_fi_copyback",
+        "_store_silent_next",
+        "_store_through",
+        "_store_next",
+        "_through_promote",
+        "_store_remote_update",
+        "_store_miss_allocate",
+        "_store_miss_state",
+        "_all_through",
         "_mem_cycles",
         "_pattern_cost",
         "_op_table",
@@ -140,11 +152,37 @@ class PIMCacheSystem:
         self._block_words = config.cache.block_words
         self._block_mask = self._block_words - 1
         self._block_shift = self._block_words.bit_length() - 1
-        self._illinois = config.protocol == "illinois"
-        #: Write policy: copy-back (the paper's design) or one of the
-        #: Section 3 ablation baselines.
-        self._write_through = config.protocol in ("write_through", "write_update")
-        self._write_update = config.protocol == "write_update"
+        #: The declarative protocol spec this controller was compiled
+        #: from.  The tables below are flat per-state tuples (indexed by
+        #: ``CacheState``) so the hot handlers pay one subscript, never a
+        #: registry or spec lookup.
+        spec = get_protocol(config.protocol)
+        self.protocol_spec = spec
+        #: (next supplier state, copyback?) when servicing a remote F.
+        self._supplier_rules = spec.supplier_rules()
+        #: Dirty data consumed by FI / an RP transfer copies back to memory.
+        self._fi_copyback = spec.fetch_inval_copyback
+        #: Next state of a silent (zero-bus) store hit, or None where the
+        #: store needs the bus.  Replay's fast kernel inlines from this.
+        self._store_silent_next = spec.silent_store_next()
+        store = [spec.store[s] for s in CacheState]
+        #: Per-state: this store writes one word through to shared memory.
+        self._store_through = tuple(r.through for r in store)
+        #: Per-state next state of a bus-visible store hit.
+        self._store_next = tuple(
+            r.next_state if r.next_state is not None else s
+            for s, r in zip(CacheState, store)
+        )
+        #: Promotion applied by a through-store once remotes are dead.
+        self._through_promote = tuple(r.next_state for r in store)
+        self._store_remote_update = (
+            store[0].remote is RemoteAction.UPDATE
+        )
+        self._store_miss_allocate = store[0].allocate
+        self._store_miss_state = self._store_next[0]
+        #: Every store goes through (pure write-through family): _write
+        #: short-circuits to _through_store without probing the cache.
+        self._all_through = spec.all_through
         self._mem_cycles = config.bus.memory_access_cycles
         self._pattern_cost = [
             config.bus.pattern_cycles(p, self._block_words) for p in BusPattern
@@ -537,16 +575,14 @@ class PIMCacheSystem:
         if remotes:
             supplier_pe, supplier = self._pick_supplier(block, remotes)
             data = list(supplier.data) if self.track_data else None
-            if supplier.state in DIRTY_STATES and self._illinois:
-                # Illinois: dirty data is copied back to memory during the
-                # transfer; everybody ends up clean.
+            # The spec's supplier table: what the supplying copy drops to
+            # and whether dirty data copies back to memory on the way
+            # (the Illinois behaviour; the PIM SM state skips it).
+            next_state, copyback = self._supplier_rules[supplier.state]
+            if copyback:
                 stats.swap_outs += 1
                 self._writeback(block, supplier)
-                supplier.state = CacheState.S
-            elif supplier.state == CacheState.EM:
-                supplier.state = CacheState.SM
-            elif supplier.state == CacheState.EC:
-                supplier.state = CacheState.S
+            supplier.state = next_state
             stats.c2c_transfers += 1
             victim_dirty = self._fill(pe, block, CacheState.S, area, data)
             pattern = (
@@ -571,8 +607,10 @@ class PIMCacheSystem:
         self, pe: int, sop: int, area: int, address: int, block: int,
         value: int = 0, flags: int = 0,
     ) -> AccessResult:
-        if self._write_through:
-            return self._write_through_store(pe, sop, area, address, block, value)
+        if self._all_through:
+            # Pure write-through family: no store ever hits silently, so
+            # skip the local probe and go straight to the through path.
+            return self._through_store(pe, sop, area, address, block, value)
         cache = self.caches[pe]
         # Inlined Cache.lookup, as in _read.
         line = cache._lines.get(block)
@@ -580,42 +618,71 @@ class PIMCacheSystem:
             cache._tick += 1
             line.lru = cache._tick
             state = line.state
-            if state is _EM or state is _EC:
-                line.state = _EM
+            next_state = self._store_silent_next[state]
+            if next_state is not None:
+                # Silent store hit (EM/EC under the copy-back protocols):
+                # zero bus cycles, local state per the spec's store table.
+                line.state = next_state
                 self._hits[area][sop] += 1
                 self._pe_cycles[pe] += 1
                 if self.track_data:
                     line.data[address & self._block_mask] = value
                 return _HIT
             stats = self.stats
-            # S or SM: the block is *perhaps* shared — an I broadcast is
+            # The block is *perhaps* shared — a bus transaction is
             # mandatory even if no copy actually exists elsewhere.
             if self._locked_words and self._check_locks(pe, area, block):
                 return (BLOCKED, 0, None)
+            if self._store_through[state]:
+                # Through-store hit (write-once in S/SM): one word to
+                # shared memory, remotes handled, copy promoted in place.
+                stats.hits[area][sop] += 1
+                if self.track_data:
+                    line.data[address & self._block_mask] = value
+                    self.memory[address] = value
+                if self._store_remote_update:
+                    if self.track_data:
+                        offset = address & self._block_mask
+                        for other in self._remote_holders(pe, block):
+                            self.caches[other].peek(block).data[offset] = value
+                else:
+                    self._invalidate_remotes(pe, block)
+                promoted = self._through_promote[state]
+                if promoted is not None:
+                    line.state = promoted
+                stats.memory_busy_cycles += self._mem_cycles
+                cycles = self._bus(pe, BusPattern.WRITE_THROUGH, area)
+                return (cycles, 0, None)
+            # Invalidation hit (S/SM under PIM/Illinois): I broadcast.
             stats.hits[area][sop] += 1
             self._invalidate_remotes(pe, block)
-            line.state = CacheState.EM
+            line.state = self._store_next[state]
             if self.track_data:
                 line.data[address & self._block_mask] = value
             stats.command_counts[_I] += 1
             cycles = self._bus(pe, _INVALIDATION, area)
             return (cycles, 0, None)
+        if not self._store_miss_allocate:
+            # Miss without write-allocate (write-once): the word goes
+            # through; _through_store performs its own lock check.
+            return self._through_store(pe, sop, area, address, block, value)
         # Write miss: fetch-on-write via FI.
         if self._locked_words and self._check_locks(pe, area, block):
             return (BLOCKED, 0, None)
-        cycles = self._fetch_exclusive(pe, area, block, CacheState.EM)
+        cycles = self._fetch_exclusive(pe, area, block, self._store_miss_state)
         if self.track_data:
             self.caches[pe].peek(block).data[address & self._block_mask] = value
         return (cycles, 0, None)
 
-    def _write_through_store(
+    def _through_store(
         self, pe: int, sop: int, area: int, address: int, block: int, value: int
     ) -> AccessResult:
-        """Section 3 ablation baselines: every write goes to shared
-        memory over the bus (no write-allocate).  Under the *invalidate*
-        variant remote copies are killed; under the *update* variant they
-        are patched in place (a broadcast write), so blocks are never
-        dirty and sharers persist."""
+        """Write one word through to shared memory over the bus, with no
+        write-allocate.  Under an *invalidate* remote action remote
+        copies are killed and the sole survivor is promoted per the
+        spec's store table; under the *update* action (``write_update``)
+        remotes are patched in place (a broadcast write), so blocks are
+        never dirtied and sharers persist."""
         if self._locked_words and self._check_locks(pe, area, block):
             return (BLOCKED, 0, None)
         line = self.caches[pe].lookup(block)
@@ -623,7 +690,7 @@ class PIMCacheSystem:
             self.stats.hits[area][sop] += 1
             if self.track_data:
                 line.data[address & self._block_mask] = value
-        if self._write_update:
+        if self._store_remote_update:
             for other in self._remote_holders(pe, block):
                 if self.track_data:
                     remote = self.caches[other].peek(block)
@@ -631,14 +698,14 @@ class PIMCacheSystem:
         else:
             self._invalidate_remotes(pe, block)
             if line is not None:
-                # Now the sole copy.  A clean block stays clean (the
-                # write went through); a dirty block (possible when DW is
-                # honoured alongside this ablation policy) must keep its
-                # copy-back duty for its *other* words.
-                if line.state == CacheState.S:
-                    line.state = CacheState.EC
-                elif line.state == CacheState.SM:
-                    line.state = CacheState.EM
+                # Now the sole copy: apply the spec's promotion (under
+                # the built-in through policies S->EC and SM->EM — the
+                # write went through, so a clean block stays clean, and
+                # a dirty block keeps its copy-back duty for its *other*
+                # words).
+                promoted = self._through_promote[line.state]
+                if promoted is not None:
+                    line.state = promoted
         if self.track_data:
             self.memory[address] = value
         self.stats.memory_busy_cycles += self._mem_cycles
@@ -660,7 +727,7 @@ class PIMCacheSystem:
             supplier_pe, supplier = self._pick_supplier(block, remotes)
             data = list(supplier.data) if self.track_data else None
             dirty = supplier.state in DIRTY_STATES
-            if dirty and self._illinois:
+            if dirty and self._fi_copyback:
                 self.stats.swap_outs += 1
                 self._writeback(block, supplier)
                 dirty = False
@@ -702,10 +769,11 @@ class PIMCacheSystem:
             # shared/write-through cases still take the full path.
             self.stats.dw_demotions += 1
             state = line.state
-            if not self._write_through and (state is _EM or state is _EC):
+            next_state = self._store_silent_next[state]
+            if next_state is not None:
                 cache._tick += 1
                 line.lru = cache._tick
-                line.state = CacheState.EM
+                line.state = next_state
                 self._hits[area][sop] += 1
                 self._pe_cycles[pe] += 1
                 if self.track_data:
@@ -804,7 +872,7 @@ class PIMCacheSystem:
             supplier_pe, supplier = self._pick_supplier(block, remotes)
             data = list(supplier.data) if self.track_data else None
             if supplier.state in DIRTY_STATES:
-                if self._illinois:
+                if self._fi_copyback:
                     self.stats.swap_outs += 1
                     self._writeback(block, supplier)
                 self.stats.purges_dirty += 1

@@ -53,7 +53,10 @@ class ProtocolEvent(NamedTuple):
     clock for ``BUS`` events, the issuing PE's clock otherwise).
     ``detail`` is a kind-specific tag (transition arrow, pattern name,
     lock verb); ``value`` a kind-specific integer (bus cycles held,
-    block number, ...).
+    block number, ...).  ``protocol`` names the coherence protocol of
+    the observed system (empty when the emitter predates protocol
+    tagging or synthesizes events by hand), so cross-protocol event
+    streams stay attributable after mixing.
     """
 
     seq: int
@@ -66,10 +69,11 @@ class ProtocolEvent(NamedTuple):
     address: int
     detail: str
     value: int
+    protocol: str = ""
 
     def to_dict(self) -> dict:
         """JSON-serializable form (one JSONL record)."""
-        return {
+        record = {
             "seq": self.seq,
             "ref": self.ref,
             "cycle": self.cycle,
@@ -81,6 +85,9 @@ class ProtocolEvent(NamedTuple):
             "detail": self.detail,
             "value": self.value,
         }
+        if self.protocol:
+            record["protocol"] = self.protocol
+        return record
 
     def format(self) -> str:
         """One human-readable line (the ``repro events`` rendering)."""

@@ -58,6 +58,8 @@ class ProtocolProbe:
         self.sink = sink
         self.seq = 0
         self.ref = -1
+        #: Protocol name of the attached system; stamped on every event.
+        self.protocol = ""
         self._system = None
         self._before: Optional[tuple] = None
 
@@ -67,6 +69,7 @@ class ProtocolProbe:
         if self._system is not None:
             raise RuntimeError("probe is already attached to a system")
         self._system = system
+        self.protocol = system.config.protocol
 
     def detach(self, system) -> None:
         if self._system is not system:
@@ -162,7 +165,7 @@ class ProtocolProbe:
         self.sink.emit(
             ProtocolEvent(
                 self.seq, self.ref, cycle, kind, pe, op, area, address,
-                detail, value,
+                detail, value, self.protocol,
             )
         )
         self.seq += 1

@@ -58,6 +58,9 @@ def validate_manifest(record: Mapping) -> Mapping:
         value = _require(record, where, key, None)
         if value is not None and not isinstance(value, str):
             raise SchemaError(f"{where}.{key}: expected str or null")
+    if "protocol" in record and record["protocol"] is not None:
+        if not isinstance(record["protocol"], str):
+            raise SchemaError(f"{where}.protocol: expected str or null")
     config = _require(record, where, "config", None)
     if config is not None and not isinstance(config, Mapping):
         raise SchemaError(f"{where}.config: expected an object or null")
@@ -83,6 +86,8 @@ def validate_event(record: Mapping) -> Mapping:
     if area not in AREA_NAMES:
         raise SchemaError(f"{where}.area: unknown area {area!r}")
     _require(record, where, "detail", str)
+    if "protocol" in record and not isinstance(record["protocol"], str):
+        raise SchemaError(f"{where}.protocol: expected str")
     return record
 
 

@@ -1,0 +1,80 @@
+"""Regenerate the pre-refactor golden protocol statistics.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/generate_goldens.py
+
+The goldens pin the exact counter behaviour (every ``SystemStats``
+field, ``pe_cycles`` included) of the four original protocols on two
+deterministic synthetic traces under three cache configurations.  They
+were generated at the commit *before* the table-driven protocol layer
+existed, so any refactor of the protocol dispatch must reproduce them
+bit-for-bit (``tests/test_protocol_identity.py``).
+
+Do not regenerate casually: the whole point of the file is that it
+predates the refactor.  Regenerate only when the simulated architecture
+itself changes deliberately (and say so in the commit message).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.config import CacheConfig, OptimizationConfig, SimulationConfig
+from repro.core.replay import replay
+from repro.trace.synthetic import (
+    AuroraTraceConfig,
+    generate_aurora_trace,
+    generate_random_trace,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "protocol_stats.json"
+
+#: The protocols that existed before the protocol layer was extracted.
+PROTOCOLS = ("pim", "illinois", "write_through", "write_update")
+
+
+def golden_traces():
+    """The deterministic traces the goldens are replayed from."""
+    return {
+        # Mixed DW/ER/RP/RI/R/W plus consistent LR/UW/U lock traffic.
+        "random": generate_random_trace(24_000, n_pes=4, seed=123),
+        # DW/LR-heavy OR-parallel-shaped stream with work stealing.
+        "aurora": generate_aurora_trace(
+            AuroraTraceConfig(n_pes=4, steps_per_pe=300, seed=11)
+        ),
+    }
+
+
+def golden_configs(protocol: str):
+    """Three cache configurations per protocol: the base model, the
+    no-optimized-commands baseline, and a small cache that forces
+    evictions (swap-out and victim-pattern coverage)."""
+    return {
+        "base": SimulationConfig(protocol=protocol),
+        "no_opt": SimulationConfig(
+            protocol=protocol, opts=OptimizationConfig.none()
+        ),
+        "small": SimulationConfig(
+            protocol=protocol,
+            cache=CacheConfig(n_sets=16, associativity=2),
+        ),
+    }
+
+
+def generate() -> dict:
+    goldens: dict = {}
+    for trace_name, buffer in golden_traces().items():
+        for protocol in PROTOCOLS:
+            for config_name, config in golden_configs(protocol).items():
+                stats = replay(buffer, config, n_pes=4)
+                key = f"{trace_name}/{protocol}/{config_name}"
+                goldens[key] = stats.as_dict()
+    return goldens
+
+
+if __name__ == "__main__":
+    goldens = generate()
+    GOLDEN_PATH.write_text(json.dumps(goldens, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {len(goldens)} golden records to {GOLDEN_PATH}")

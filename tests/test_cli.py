@@ -232,3 +232,61 @@ def test_verbose_flag_enables_library_logging(tmp_path, capsys):
         "--pes", "2", "--limit", "1",
     ]) == 0
     assert logging.getLogger("repro").level == logging.ERROR
+
+
+def test_protocols_lists_registered(capsys):
+    from repro.core.protocol import protocol_names
+
+    assert main(["protocols"]) == 0
+    out = capsys.readouterr().out
+    for name in protocol_names():
+        assert name in out
+    assert "write policy" in out
+
+
+def test_protocols_spec_renders_transition_table(capsys):
+    assert main(["protocols", "--spec", "write_once"]) == 0
+    out = capsys.readouterr().out
+    assert "write_once" in out
+    assert "EM" in out and "INV" in out
+
+
+def test_protocols_spec_rejects_unknown(capsys):
+    assert main(["protocols", "--spec", "mesi2"]) == 2
+    assert "pim" in capsys.readouterr().err
+
+
+def test_compare_benchmark(capsys):
+    assert main([
+        "compare", "--benchmark", "pascal", "--scale", "tiny", "--pes", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    for name in ("pim", "illinois", "write_through", "write_update",
+                 "write_once"):
+        assert name in out
+    assert "bus cycles" in out
+
+
+def test_compare_protocol_subset_and_trace(tmp_path, capsys):
+    trace_file = tmp_path / "c.trace"
+    assert main([
+        "trace", "record", "pascal", "--scale", "tiny", "--pes", "2",
+        "-o", str(trace_file),
+    ]) == 0
+    capsys.readouterr()
+    assert main([
+        "compare", "--trace", str(trace_file),
+        "--protocol", "pim,write_once",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "pim" in out and "write_once" in out
+    assert "illinois" not in out
+
+
+def test_compare_rejects_unknown_protocol(capsys):
+    assert main([
+        "compare", "--benchmark", "pascal", "--scale", "tiny",
+        "--protocol", "pim,mesi2",
+    ]) == 2
+    err = capsys.readouterr().err
+    assert "mesi2" in err and "write_once" in err

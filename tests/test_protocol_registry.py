@@ -1,0 +1,224 @@
+"""The protocol spec/registry layer: validation, lookup, and the
+behaviour of the newly registered Goodman write-once baseline."""
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.protocol import (
+    ProtocolSpec,
+    RemoteAction,
+    StoreRule,
+    SupplierRule,
+    get_protocol,
+    is_registered,
+    protocol_names,
+    register,
+)
+from repro.core.states import CacheState
+from repro.core.system import PIMCacheSystem
+from repro.trace.events import AREA_BASE, Area, Op
+
+INV, S, SM, EC, EM = CacheState
+
+
+def _spec_kwargs(**overrides):
+    """A minimal valid spec (PIM-shaped), overridable per test."""
+    kwargs = dict(
+        name="testproto",
+        title="Test protocol",
+        description="test",
+        store={
+            INV: StoreRule(next_state=EM, remote=RemoteAction.INVALIDATE,
+                           allocate=True),
+            S: StoreRule(next_state=EM, remote=RemoteAction.INVALIDATE),
+            SM: StoreRule(next_state=EM, remote=RemoteAction.INVALIDATE),
+            EC: StoreRule(next_state=EM),
+            EM: StoreRule(next_state=EM),
+        },
+        supplier={
+            S: SupplierRule(S),
+            SM: SupplierRule(SM),
+            EC: SupplierRule(S),
+            EM: SupplierRule(SM),
+        },
+    )
+    kwargs.update(overrides)
+    return kwargs
+
+
+class TestRegistry:
+    def test_all_five_builtins_registered(self):
+        names = protocol_names()
+        assert len(names) >= 5
+        for name in ("pim", "illinois", "write_through", "write_update",
+                     "write_once"):
+            assert name in names
+            assert is_registered(name)
+            assert get_protocol(name).name == name
+
+    def test_unknown_protocol_error_lists_known_names(self):
+        with pytest.raises(KeyError, match="pim"):
+            get_protocol("illnois")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register(get_protocol("pim"))
+
+    def test_replace_allows_reregistration(self):
+        spec = get_protocol("pim")
+        assert register(spec, replace=True) is spec
+
+    def test_config_rejects_typo_with_known_names(self):
+        with pytest.raises(ValueError) as error:
+            SimulationConfig(protocol="illnois")
+        message = str(error.value)
+        assert "illnois" in message
+        for name in protocol_names():
+            assert name in message
+
+    def test_config_accepts_every_registered_protocol(self):
+        for name in protocol_names():
+            assert SimulationConfig(protocol=name).protocol == name
+
+
+class TestSpecValidation:
+    def test_missing_store_state_rejected(self):
+        kwargs = _spec_kwargs()
+        del kwargs["store"][SM]
+        with pytest.raises(ValueError, match="store table missing"):
+            ProtocolSpec(**kwargs)
+
+    def test_missing_supplier_state_rejected(self):
+        kwargs = _spec_kwargs()
+        del kwargs["supplier"][EC]
+        with pytest.raises(ValueError, match="supplier table missing"):
+            ProtocolSpec(**kwargs)
+
+    def test_allocate_outside_miss_row_rejected(self):
+        kwargs = _spec_kwargs()
+        kwargs["store"][S] = StoreRule(next_state=EM, allocate=True)
+        with pytest.raises(ValueError, match="allocate"):
+            ProtocolSpec(**kwargs)
+
+    def test_silent_store_cannot_clean_a_dirty_block(self):
+        kwargs = _spec_kwargs()
+        kwargs["store"][EM] = StoreRule(next_state=EC)
+        with pytest.raises(ValueError, match="copy-back duty"):
+            ProtocolSpec(**kwargs)
+
+    def test_clean_supplier_cannot_copyback(self):
+        kwargs = _spec_kwargs()
+        kwargs["supplier"][EC] = SupplierRule(S, copyback=True)
+        with pytest.raises(ValueError, match="copyback"):
+            ProtocolSpec(**kwargs)
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError, match="identifier"):
+            ProtocolSpec(**_spec_kwargs(name="no spaces!"))
+
+
+class TestSpecDerivations:
+    def test_pim_shape(self):
+        spec = get_protocol("pim")
+        assert not spec.all_through
+        assert spec.write_allocates
+        assert spec.has_silent_stores
+        silent = spec.silent_store_next()
+        assert silent[EC] is EM and silent[EM] is EM
+        assert silent[INV] is None and silent[S] is None
+        assert spec.supplier_rules()[EM] == (SM, False)
+
+    def test_illinois_copyback_shape(self):
+        spec = get_protocol("illinois")
+        assert spec.fetch_inval_copyback
+        assert spec.supplier_rules()[EM] == (S, True)
+        assert spec.supplier_rules()[SM] == (S, True)
+
+    def test_write_through_family_shape(self):
+        for name in ("write_through", "write_update"):
+            spec = get_protocol(name)
+            assert spec.all_through
+            assert not spec.write_allocates
+            assert not spec.has_silent_stores
+            assert spec.silent_store_next() == (None,) * 5
+
+    def test_render_table_covers_every_state(self):
+        for name in protocol_names():
+            text = get_protocol(name).render_table()
+            for state in CacheState:
+                assert state.name in text
+
+    def test_summary_is_json_ready(self):
+        import json
+
+        for name in protocol_names():
+            summary = get_protocol(name).summary()
+            assert json.loads(json.dumps(summary)) == summary
+            assert summary["name"] == name
+
+
+class TestWriteOnce:
+    """Goodman write-once semantics through the compiled system."""
+
+    def setup_method(self):
+        self.system = PIMCacheSystem(
+            SimulationConfig(protocol="write_once"), 2
+        )
+        self.heap = AREA_BASE[Area.HEAP]
+
+    def state(self, pe, address):
+        return self.system.line_state(pe, address)
+
+    def test_first_write_to_shared_goes_through_and_reserves(self):
+        system, address = self.system, self.heap
+        system.access(0, Op.R, Area.HEAP, address)
+        system.access(1, Op.R, Area.HEAP, address)
+        assert self.state(0, address) == S
+        before = system.stats.memory_busy_cycles
+        system.access(0, Op.W, Area.HEAP, address)
+        # Through-write: one word to memory, remote invalidated, local
+        # copy Reserved (EC — clean, because the write went through).
+        assert system.stats.memory_busy_cycles > before
+        assert self.state(0, address) == EC
+        assert self.state(1, address) == INV
+
+    def test_exclusive_write_hit_is_silent_and_dirties(self):
+        system, address = self.system, self.heap
+        system.access(0, Op.R, Area.HEAP, address)  # sole copy: EC
+        assert self.state(0, address) == EC
+        bus_before = system.stats.bus_cycles_total
+        system.access(0, Op.W, Area.HEAP, address)
+        # Exclusive write hit: silent, no bus cycles, dirty (the classic
+        # write-once "Dirty" state; EC plays Goodman's Reserved).
+        assert system.stats.bus_cycles_total == bus_before
+        assert self.state(0, address) == EM
+
+    def test_write_hit_after_reserve_is_silent(self):
+        system, address = self.system, self.heap
+        system.access(0, Op.R, Area.HEAP, address)
+        system.access(1, Op.R, Area.HEAP, address)
+        system.access(0, Op.W, Area.HEAP, address)  # through-write -> EC
+        assert self.state(0, address) == EC
+        bus_before = system.stats.bus_cycles_total
+        system.access(0, Op.W, Area.HEAP, address)
+        assert system.stats.bus_cycles_total == bus_before
+        assert self.state(0, address) == EM
+
+    def test_write_miss_does_not_allocate(self):
+        system, address = self.system, self.heap
+        system.access(0, Op.W, Area.HEAP, address)
+        assert self.state(0, address) == INV
+        assert system.stats.swap_ins == 0
+
+    def test_dirty_transfer_copies_back(self):
+        system, address = self.system, self.heap
+        system.access(0, Op.R, Area.HEAP, address)
+        system.access(0, Op.W, Area.HEAP, address)  # EC (silent -> EM)
+        assert self.state(0, address) == EM
+        before = system.stats.swap_outs
+        system.access(1, Op.R, Area.HEAP, address)
+        # Illinois-style: the dirty supplier copies back and both end
+        # up clean-shared.
+        assert system.stats.swap_outs == before + 1
+        assert self.state(0, address) == S
+        assert self.state(1, address) == S

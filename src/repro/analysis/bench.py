@@ -40,10 +40,11 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.cluster.replay import replay_interleaved
 from repro.core.config import CacheConfig, SimulationConfig
 from repro.core.replay import replay
 from repro.core.stats import SystemStats
-from repro.analysis.parallel import default_jobs, run_sweep
+from repro.analysis.parallel import default_jobs, run_clustered, run_sweep
 from repro.obs.log import get_logger
 from repro.obs.manifest import build_manifest
 from repro.trace.buffer import TraceBuffer
@@ -128,12 +129,76 @@ def time_sweep(
     return time.perf_counter() - start, results
 
 
+def bench_clustered(
+    buffer: TraceBuffer,
+    n_clusters: int = 2,
+    jobs: Optional[int] = None,
+    repeats: int = 3,
+) -> dict:
+    """Clustered-replay throughput: interleaved serial vs per-cluster
+    parallel.
+
+    The serial side drives :class:`~repro.cluster.system.
+    ClusteredSystem` one reference at a time in global trace order (the
+    path an execution-driven run takes); the parallel side shards the
+    trace per cluster and runs each shard through the inlined fast
+    kernel, fanned out to the process pool when the host has the CPUs
+    for it (``jobs=None`` uses one worker per CPU, capped at the
+    cluster count — on a single-CPU host the shards run in-process,
+    which is the same fast path minus the pool hand-off).  Both sides
+    are timed wall-clock (parallelism is a wall-clock effect), with
+    serial/parallel repeats interleaved so host drift cancels, and the
+    merged counters are asserted identical before any rate is reported.
+    """
+    config = SimulationConfig().with_clusters(n_clusters)
+    if jobs is None:
+        jobs = min(n_clusters, default_jobs())
+
+    serial_best = float("inf")
+    parallel_best = float("inf")
+    serial_result = None
+    parallel_result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        serial_result = replay_interleaved(buffer, config)
+        serial_best = min(serial_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        parallel_result = run_clustered(buffer, config, jobs=jobs)
+        parallel_best = min(parallel_best, time.perf_counter() - start)
+
+    assert serial_result is not None and parallel_result is not None
+    identical = serial_result.as_dict() == parallel_result.as_dict()
+    if not identical:
+        raise AssertionError(
+            "per-cluster parallel replay diverged from interleaved serial"
+        )
+    refs = len(buffer)
+    serial_rate = refs / serial_best if serial_best > 0 else float("inf")
+    parallel_rate = refs / parallel_best if parallel_best > 0 else float("inf")
+    network = parallel_result.network
+    return {
+        "clusters": n_clusters,
+        "jobs": jobs,
+        "refs": refs,
+        "repeats": repeats,
+        "refs_per_sec_serial": round(serial_rate),
+        "refs_per_sec_parallel": round(parallel_rate),
+        "parallel_speedup": round(parallel_rate / serial_rate, 2)
+        if serial_rate > 0
+        else None,
+        "merge_deterministic": identical,
+        "network_messages": network.messages,
+        "network_stall_cycles": network.stall_cycles,
+    }
+
+
 def run_bench(
     quick: bool = False,
     jobs: Optional[int] = None,
     repeats: Optional[int] = None,
     recorded: Optional[dict] = None,
     overhead_bound: float = 0.95,
+    clusters: int = 2,
 ) -> dict:
     """Run every benchmark section and return the report dict.
 
@@ -206,6 +271,10 @@ def run_bench(
         else None,
         "results_identical": True,
     }
+    logger.info("measuring clustered replay (%d clusters)", clusters)
+    report["cluster"] = bench_clustered(
+        workloads["hot"], n_clusters=clusters, repeats=max(2, repeats - 2)
+    )
     if recorded:
         report["no_sink_overhead"] = compare_no_sink_overhead(
             report, recorded, bound=overhead_bound
@@ -279,6 +348,15 @@ def format_report(report: dict) -> str:
         f"jobs={sweep['jobs']} {sweep['wall_seconds_parallel']:.2f}s "
         f"({sweep['parallel_speedup']:.2f}x, results identical)"
     )
+    cluster = report.get("cluster")
+    if cluster:
+        lines.append(
+            f"  clustered ({cluster['clusters']} clusters x "
+            f"{cluster['refs']:,} refs): "
+            f"serial {cluster['refs_per_sec_serial']:,} refs/sec, "
+            f"parallel {cluster['refs_per_sec_parallel']:,} refs/sec "
+            f"({cluster['parallel_speedup']:.2f}x, merge deterministic)"
+        )
     overhead = report.get("no_sink_overhead")
     if overhead and overhead.get("min_ratio") is not None:
         verdict = "OK" if overhead["within_bound"] else "VIOLATED"

@@ -2,10 +2,15 @@
 
 The protocol registry makes protocol ablations cheap; this module turns
 them into a table.  :func:`protocol_comparison` replays one captured
-trace under each requested protocol and collects the headline counters;
+trace under each requested protocol and collects the headline counters
+— through the flat replay kernel on a single-bus config, or through
+:func:`repro.cluster.replay.replay_clustered` (adding the inter-cluster
+network columns) when the base config partitions the machine.
 :func:`format_protocol_comparison` renders them with the shared ASCII
-table formatter.  Used by ``repro compare`` and the report's protocol
-matrix section.
+table formatter and :func:`comparison_report` emits the machine-readable
+JSON form (schema ``repro.obs/comparison/v1``, validated by
+:func:`repro.obs.schema.validate_comparison`).  Used by ``repro
+compare`` and the report's protocol matrix section.
 """
 
 from __future__ import annotations
@@ -13,9 +18,12 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from repro.analysis.formatting import format_table
+from repro.cluster.replay import replay_clustered
 from repro.core.config import SimulationConfig
-from repro.core.illinois import compare_protocols
+from repro.core.illinois import compare_protocols, protocol_config
 from repro.core.protocol import protocol_names
+from repro.obs.manifest import build_manifest
+from repro.obs.schema import COMPARISON_SCHEMA
 from repro.trace.buffer import TraceBuffer
 
 #: Columns of the comparison table: (header, stats key, formatter).
@@ -27,16 +35,50 @@ _COLUMNS = (
     ("miss ratio", "miss_ratio", "{:.4f}".format),
 )
 
+#: Extra columns present when the comparison ran on a clustered machine.
+_NETWORK_COLUMNS = (
+    ("net msgs", "network_messages", "{:,}".format),
+    ("net stall", "network_stall_cycles", "{:,}".format),
+)
+
 
 def protocol_comparison(
     buffer: TraceBuffer,
     base: Optional[SimulationConfig] = None,
     protocols: Optional[Sequence[str]] = None,
+    n_pes: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
-    """Replay *buffer* under each protocol (default: the full registry)."""
+    """Replay *buffer* under each protocol (default: the full registry).
+
+    A *base* config with ``cluster.n_clusters > 1`` runs each protocol
+    through the clustered replay path instead and adds
+    ``network_messages`` / ``network_stall_cycles`` per row.
+    """
     if protocols is None:
         protocols = protocol_names()
-    return compare_protocols(buffer, base, protocols)
+    if base is None or base.cluster.n_clusters == 1:
+        return compare_protocols(buffer, base, protocols)
+    results: Dict[str, Dict[str, float]] = {}
+    for name in protocols:
+        clustered = replay_clustered(buffer, protocol_config(name, base), n_pes)
+        stats = clustered.stats
+        results[name] = {
+            "bus_cycles": stats.bus_cycles_total,
+            "memory_busy_cycles": stats.memory_busy_cycles,
+            "swap_outs": stats.swap_outs,
+            "c2c_transfers": stats.c2c_transfers,
+            "miss_ratio": stats.miss_ratio,
+            "network_messages": clustered.network.messages,
+            "network_stall_cycles": clustered.network.stall_cycles,
+        }
+    return results
+
+
+def _columns_for(comparison: Dict[str, Dict[str, float]]):
+    first = next(iter(comparison.values()), {})
+    if "network_messages" in first:
+        return _COLUMNS + _NETWORK_COLUMNS
+    return _COLUMNS
 
 
 def format_protocol_comparison(
@@ -46,15 +88,17 @@ def format_protocol_comparison(
     """Render a :func:`protocol_comparison` result as an ASCII table.
 
     Adds a ``vs pim`` column (bus-cycle ratio against the ``pim`` row)
-    whenever the comparison includes the paper's protocol.
+    whenever the comparison includes the paper's protocol, and the
+    network columns whenever the rows carry them.
     """
+    columns = _columns_for(comparison)
     reference = comparison.get("pim")
-    headers = ["protocol"] + [header for header, _, _ in _COLUMNS]
+    headers = ["protocol"] + [header for header, _, _ in columns]
     if reference:
         headers.append("bus vs pim")
     rows = []
     for name, entry in comparison.items():
-        row = [name] + [fmt(entry[key]) for _, key, fmt in _COLUMNS]
+        row = [name] + [fmt(entry[key]) for _, key, fmt in columns]
         if reference:
             row.append(
                 "{:.2f}x".format(
@@ -63,3 +107,22 @@ def format_protocol_comparison(
             )
         rows.append(tuple(row))
     return format_table(tuple(headers), rows, title=title)
+
+
+def comparison_report(
+    comparison: Dict[str, Dict[str, float]],
+    base: Optional[SimulationConfig] = None,
+    extra: Optional[dict] = None,
+) -> dict:
+    """The machine-readable form of a comparison (``repro compare
+    --json``): schema-tagged rows plus a provenance manifest."""
+    return {
+        "schema": COMPARISON_SCHEMA,
+        "clusters": base.cluster.n_clusters if base is not None else None,
+        "rows": [
+            {"protocol": name, **entry} for name, entry in comparison.items()
+        ],
+        "manifest": build_manifest(
+            config=base, extra={"kind": "comparison", **(extra or {})}
+        ),
+    }

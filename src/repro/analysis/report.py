@@ -19,6 +19,7 @@ from repro.analysis.protocols import (
     protocol_comparison,
 )
 from repro.analysis.runner import Workloads
+from repro.cluster.replay import replay_clustered
 from repro.core.config import OptimizationConfig, SimulationConfig
 from repro.core.illinois import compare_protocols
 
@@ -65,6 +66,64 @@ def _protocol_matrix_section(workloads: Workloads) -> str:
     return format_protocol_comparison(
         comparison,
         title=f"Protocol matrix on `{name}` (every registered protocol)",
+    )
+
+
+def _cluster_traffic_section(workloads: Workloads, n_clusters: int = 2) -> str:
+    """Inter- vs intra-cluster traffic on one representative trace.
+
+    Replays the trace on a clustered machine and tabulates, per
+    cluster, how many bus transactions stayed on the local bus versus
+    crossing the inter-cluster network — plus the stall cycles that
+    crossing cost and the sending link's occupancy.
+    """
+    name = tables_module.BENCH_ORDER[0]
+    buffer = workloads.trace(name)
+    clustered = replay_clustered(
+        buffer, SimulationConfig().with_clusters(n_clusters)
+    )
+    rows = []
+    for stats, net in zip(
+        clustered.per_cluster, clustered.network_per_cluster
+    ):
+        bus_ops = sum(stats.pattern_counts)
+        inter = net.messages
+        elapsed = max(stats.pe_cycles) if stats.pe_cycles else 0
+        rows.append(
+            (
+                f"c{net.cluster}",
+                f"{stats.total_refs:,}",
+                f"{bus_ops - inter:,}",
+                f"{inter:,}",
+                f"{inter / max(bus_ops, 1):.1%}",
+                f"{net.stall_cycles:,}",
+                f"{net.link_busy_cycles / max(elapsed, 1):.1%}",
+            )
+        )
+    total_stats, total_net = clustered.stats, clustered.network
+    total_ops = sum(total_stats.pattern_counts)
+    total_elapsed = max(total_stats.pe_cycles) if total_stats.pe_cycles else 0
+    rows.append(
+        (
+            "total",
+            f"{total_stats.total_refs:,}",
+            f"{total_ops - total_net.messages:,}",
+            f"{total_net.messages:,}",
+            f"{total_net.messages / max(total_ops, 1):.1%}",
+            f"{total_net.stall_cycles:,}",
+            f"{total_net.link_busy_cycles / max(total_elapsed * n_clusters, 1):.1%}",
+        )
+    )
+    return format_table(
+        (
+            "cluster", "refs", "intra bus ops", "inter msgs", "inter %",
+            "net stall", "link occ",
+        ),
+        rows,
+        title=(
+            f"Inter- vs intra-cluster traffic on `{name}` "
+            f"({n_clusters} clusters)"
+        ),
     )
 
 
@@ -131,6 +190,12 @@ def generate_report(
     parts.append("")
     parts.append("```")
     parts.append(_protocol_matrix_section(workloads))
+    parts.append("```")
+    parts.append("")
+    parts.append("## Cluster traffic")
+    parts.append("")
+    parts.append("```")
+    parts.append(_cluster_traffic_section(workloads))
     parts.append("```")
     parts.append("")
     return "\n".join(parts)

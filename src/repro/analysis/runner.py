@@ -148,17 +148,41 @@ def replay_trace(
 class Workloads:
     """Memoized benchmark runs shared across experiments.
 
-    Traces are additionally cached on disk, keyed by
-    ``(benchmark, scale, n_pes, seed)`` plus :data:`TRACE_CACHE_VERSION`,
-    so repeated pytest / benchmark invocations skip re-emulation — the
-    expensive part — and go straight to replay.  Only :meth:`trace`
+    Traces are additionally cached on disk, keyed by every knob that can
+    change the captured reference stream — and *only* those:
+
+    * :data:`TRACE_CACHE_VERSION` (emulator/scheduler changes),
+    * benchmark name, ``scale``, ``n_pes``, machine ``seed``,
+    * ``gc_threshold_words`` (collections rewrite the heap, changing
+      every reference after them),
+    * ``n_clusters`` (cluster-affinity goal scheduling reorders work,
+      so a clustered capture is a different stream).
+
+    The simulation side — protocol, cache geometry, bus width, the
+    optimized-command toggles — is deliberately absent: the reference
+    stream does not depend on it (that independence is the premise of
+    trace replay), so one cached trace serves every protocol and
+    geometry sweep.  The two non-default knobs append readable suffixes
+    rather than reformatting the whole key, keeping existing cache
+    files valid.
+
+    Repeated pytest / benchmark invocations thus skip re-emulation —
+    the expensive part — and go straight to replay.  Only :meth:`trace`
     consults the disk cache; :meth:`result` needs the machine-level
     outcome and always emulates (then refreshes the cached trace).
     """
 
-    def __init__(self, scale: str = "small", seed: int = 1):
+    def __init__(
+        self,
+        scale: str = "small",
+        seed: int = 1,
+        gc_threshold_words: Optional[int] = None,
+        n_clusters: int = 1,
+    ):
         self.scale = scale
         self.seed = seed
+        self.gc_threshold_words = gc_threshold_words
+        self.n_clusters = n_clusters
         self._cache: Dict[Tuple[str, int], BenchmarkResult] = {}
         self._traces: Dict[Tuple[str, int], TraceBuffer] = {}
         self._replays: Dict[Tuple[str, int, SimulationConfig], SystemStats] = {}
@@ -166,10 +190,26 @@ class Workloads:
     def cache_key(self, name: str, n_pes: int = 8) -> str:
         """The disk-cache key (file stem) of one workload's trace —
         recorded in manifests so results name the stream they used."""
-        return (
+        key = (
             f"v{TRACE_CACHE_VERSION}-{name}-{self.scale}-"
             f"{n_pes}pe-seed{self.seed}"
         )
+        if self.gc_threshold_words is not None:
+            key += f"-gc{self.gc_threshold_words}"
+        if self.n_clusters != 1:
+            key += f"-c{self.n_clusters}"
+        return key
+
+    def _sim_config(self) -> Optional[SimulationConfig]:
+        """Capture-time simulation config (None: run_benchmark default).
+
+        Only the cluster topology matters here — it feeds the
+        scheduler; everything else about the config cannot reach the
+        trace.
+        """
+        if self.n_clusters == 1:
+            return None
+        return SimulationConfig().with_clusters(self.n_clusters)
 
     def result(self, name: str, n_pes: int = 8) -> BenchmarkResult:
         key = (name, n_pes)
@@ -178,7 +218,12 @@ class Workloads:
                 name,
                 scale=self.scale,
                 n_pes=n_pes,
-                machine_config=MachineConfig(n_pes=n_pes, seed=self.seed),
+                sim_config=self._sim_config(),
+                machine_config=MachineConfig(
+                    n_pes=n_pes,
+                    seed=self.seed,
+                    gc_threshold_words=self.gc_threshold_words,
+                ),
             )
             if result.manifest is not None:
                 result.manifest["trace_cache_key"] = self.cache_key(name, n_pes)
@@ -215,10 +260,7 @@ class Workloads:
         root = trace_cache_dir()
         if root is None:
             return None
-        return root / (
-            f"v{TRACE_CACHE_VERSION}-{name}-{self.scale}-"
-            f"{n_pes}pe-seed{self.seed}.trace"
-        )
+        return root / (self.cache_key(name, n_pes) + ".trace")
 
     def _load_trace(self, name: str, n_pes: int) -> Optional[TraceBuffer]:
         path = self._cache_path(name, n_pes)

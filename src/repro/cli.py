@@ -30,7 +30,12 @@ Commands
     LOCKE-style transition table with ``--spec NAME``.
 ``compare``
     Replay one trace under several registered protocols and print the
-    cross-protocol comparison table.
+    cross-protocol comparison table (``--json`` emits the
+    schema-validated ``repro.obs/comparison/v1`` record instead).
+
+``run``, ``compare`` and ``bench`` accept ``--clusters K`` to simulate
+a hierarchical machine: K cluster buses joined by the
+:mod:`repro.cluster` inter-cluster network.
 
 Global ``-v``/``-vv`` and ``-q`` control library logging (the
 :mod:`repro.obs.log` hierarchy); they go before the subcommand.
@@ -83,12 +88,22 @@ def _sim_config(args) -> SimulationConfig:
         args.capacity, block_words=args.block_words, associativity=args.ways
     )
     opts = OptimizationConfig.none() if args.no_opt else OptimizationConfig.all()
-    return SimulationConfig(
+    config = SimulationConfig(
         cache=cache,
         bus=BusConfig(width_words=args.bus_width),
         opts=opts,
         protocol=args.protocol,
     )
+    return _apply_clusters(config, args)
+
+
+def _apply_clusters(config: SimulationConfig, args) -> SimulationConfig:
+    clusters = getattr(args, "clusters", 1)
+    if clusters and clusters > 1:
+        config = config.with_clusters(
+            clusters, hop_cycles=getattr(args, "hop_cycles", 4)
+        )
+    return config
 
 
 def _add_cache_options(
@@ -111,6 +126,15 @@ def _add_cache_options(
                         help="demote DW/ER/RP/RI to plain reads and writes")
 
 
+def _add_cluster_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--clusters", type=int, default=1,
+                        help="partition the PEs into K clusters joined by "
+                             "an inter-cluster network (default 1: one bus)")
+    parser.add_argument("--hop-cycles", type=int, default=4,
+                        help="inter-cluster latency per ring hop "
+                             "(default 4; needs --clusters > 1)")
+
+
 def _print_run_summary(result) -> None:
     machine = result if hasattr(result, "reductions") else result.machine
     print(f"answer:        {machine.answer}")
@@ -128,6 +152,11 @@ def _print_run_summary(result) -> None:
         print(f"miss ratio:    {stats.miss_ratio:.4f}")
         print(f"bus cycles:    {stats.bus_cycles_total:,}")
         print(f"sim cycles:    {stats.total_cycles:,}")
+    network = getattr(machine, "network", None)
+    if network is not None:
+        print(f"clusters:      {network.n_clusters}  "
+              f"net msgs: {network.messages:,}  "
+              f"net stall: {network.stall_cycles:,} cycles")
 
 
 def cmd_run(args) -> int:
@@ -251,6 +280,10 @@ def cmd_bench(args) -> int:
         print("error: --jobs must be at least 2 (the sweep is timed "
               "against a serial jobs=1 run)", file=sys.stderr)
         return 2
+    if args.clusters < 2 or 8 % args.clusters != 0:
+        print("error: --clusters must be 2, 4 or 8 (the clustered section "
+              "shards the 8-PE hot trace)", file=sys.stderr)
+        return 2
     # The previously written report (if any) is the no-sink-overhead
     # reference; read it before write_report replaces it.
     recorded = None
@@ -272,6 +305,7 @@ def cmd_bench(args) -> int:
         overhead_bound=(
             args.assert_overhead if args.assert_overhead is not None else 0.95
         ),
+        clusters=args.clusters,
     )
     print(bench.format_report(report))
     path = bench.write_report(report, args.output)
@@ -406,10 +440,14 @@ def cmd_protocols(args) -> int:
 
 
 def cmd_compare(args) -> int:
+    import json
+
     from repro.analysis.protocols import (
+        comparison_report,
         format_protocol_comparison,
         protocol_comparison,
     )
+    from repro.obs.schema import validate_comparison
 
     if args.protocol:
         protocols = [p.strip() for p in args.protocol.split(",") if p.strip()]
@@ -421,15 +459,33 @@ def cmd_compare(args) -> int:
             return 2
     else:
         protocols = None
-    buffer, name, pes, _ = _replay_source(args)
+    buffer, name, pes, cache_key = _replay_source(args)
     cache = CacheConfig.from_capacity(
         args.capacity, block_words=args.block_words, associativity=args.ways
     )
     opts = OptimizationConfig.none() if args.no_opt else OptimizationConfig.all()
-    base = SimulationConfig(
-        cache=cache, bus=BusConfig(width_words=args.bus_width), opts=opts
+    base = _apply_clusters(
+        SimulationConfig(
+            cache=cache, bus=BusConfig(width_words=args.bus_width), opts=opts
+        ),
+        args,
     )
-    comparison = protocol_comparison(buffer, base, protocols)
+    comparison = protocol_comparison(buffer, base, protocols, n_pes=pes)
+    if args.json or args.output:
+        report = comparison_report(
+            comparison,
+            base=base,
+            extra={"source": name, "refs": len(buffer), "pes": pes,
+                   "trace_cache_key": cache_key},
+        )
+        validate_comparison(report)
+        text = json.dumps(report, indent=2)
+        if args.output:
+            Path(args.output).write_text(text + "\n")
+            print(f"comparison written: {args.output}")
+        else:
+            print(text)
+        return 0
     print(format_protocol_comparison(
         comparison,
         title=f"Cross-protocol comparison on {name} "
@@ -464,6 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="per-PE heap words triggering stop-and-copy GC")
     run_parser.add_argument("--output", "-o", help="write the trace to a file")
     _add_cache_options(run_parser)
+    _add_cluster_options(run_parser)
     run_parser.set_defaults(handler=cmd_run)
 
     tables_parser = commands.add_parser("tables", help="regenerate Tables 1-5")
@@ -530,6 +587,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="fail (exit 1) if any workload's refs/sec "
                                    "drops below RATIO (default 0.95) of the "
                                    "recorded report at --output")
+    bench_parser.add_argument("--clusters", type=int, default=2,
+                              help="cluster count for the clustered-replay "
+                                   "section (default 2)")
     bench_parser.set_defaults(handler=cmd_bench)
 
     profile_parser = commands.add_parser(
@@ -610,7 +670,15 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--protocol", metavar="A,B,...",
                                 help="comma-separated protocols to compare "
                                      "(default: every registered protocol)")
+    compare_parser.add_argument("--json", action="store_true",
+                                help="emit the schema-validated "
+                                     "repro.obs/comparison/v1 JSON instead "
+                                     "of the table")
+    compare_parser.add_argument("--output", "-o",
+                                help="write the JSON comparison to a file "
+                                     "(implies --json)")
     _add_cache_options(compare_parser, protocol=False)
+    _add_cluster_options(compare_parser)
     compare_parser.set_defaults(handler=cmd_compare)
 
     return parser

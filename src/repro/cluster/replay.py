@@ -1,0 +1,181 @@
+"""Replay paths for clustered systems: interleaved, sharded, merged.
+
+Two serial paths with identical counters:
+
+* :func:`replay_interleaved` drives :meth:`ClusteredSystem.access` one
+  reference at a time in trace order — the ordering-faithful reference
+  path (and the serial baseline the clustered benchmark measures).
+* :func:`replay_clustered` splits the trace into per-cluster shards
+  (:func:`split_trace`) and runs each shard through the inlined fast
+  kernel of :func:`repro.core.replay.replay` with a caller-built
+  :class:`~repro.cluster.system.ClusterCacheSystem`.
+
+They agree bit-for-bit because clusters share no mutable state: a
+cluster's counters are a function of its own PEs' references *in their
+own relative order*, which sharding preserves.  That same argument
+makes the shard results independent of worker scheduling, so
+:func:`repro.analysis.parallel.run_clustered` can fan shards out over
+the process pool and merge deterministically (shards are merged in
+cluster-index order regardless of completion order).
+"""
+
+from __future__ import annotations
+
+from array import array
+from itertools import compress
+from typing import List, Optional
+
+from repro.cluster.system import ClusterCacheSystem, ClusterStats, ClusteredSystem
+from repro.core.config import SimulationConfig
+from repro.core.replay import ReplayBlockedError, replay
+from repro.core.system import BLOCKED
+from repro.trace.buffer import TraceBuffer
+
+try:  # optional: vectorizes the split when the host has it
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI
+    _np = None
+
+
+def split_trace(
+    buffer: TraceBuffer, n_pes: int, n_clusters: int
+) -> List[TraceBuffer]:
+    """Partition *buffer* into per-cluster shards.
+
+    Each shard holds the references of one cluster's PEs, in their
+    original relative order, with PE indices renumbered to
+    cluster-local (``pe - cluster * pes_per_cluster``).
+
+    The split is on the parallel fast path (it runs once per clustered
+    replay, over the full trace), so it avoids a per-reference Python
+    loop.  With numpy available the columns are filtered with boolean
+    masks over zero-copy views of the column arrays; otherwise the PE
+    column — a signed-byte array — is viewed as ``bytes`` and two
+    256-entry :meth:`bytes.translate` tables turn it into a 0/1
+    membership mask and a cluster-local renumbering at C speed, with
+    :func:`itertools.compress` selecting each column.  Both paths
+    produce identical shards (a regression test holds them together).
+    """
+    if n_pes % n_clusters != 0:
+        raise ValueError(
+            f"n_pes ({n_pes}) must divide evenly into {n_clusters} clusters"
+        )
+    pes_per_cluster = n_pes // n_clusters
+    if _np is not None:
+        return _split_trace_numpy(buffer, pes_per_cluster, n_clusters)
+    return _split_trace_compress(buffer, pes_per_cluster, n_clusters)
+
+
+def _split_trace_numpy(
+    buffer: TraceBuffer, pes_per_cluster: int, n_clusters: int
+) -> List[TraceBuffer]:
+    pe_col, op_col, area_col, addr_col, flags_col = buffer.columns()
+    pe = _np.frombuffer(pe_col, dtype=_np.int8)
+    op = _np.frombuffer(op_col, dtype=_np.int8)
+    area = _np.frombuffer(area_col, dtype=_np.int8)
+    addr = _np.frombuffer(addr_col, dtype=_np.int64)
+    flags = _np.frombuffer(flags_col, dtype=_np.int8)
+    shards = []
+    for cluster in range(n_clusters):
+        lo = cluster * pes_per_cluster
+        mask = (pe >= lo) & (pe < lo + pes_per_cluster)
+        shard = TraceBuffer(pes_per_cluster)
+        shard._pe = array("b", (pe[mask] - lo).tobytes())
+        shard._op = array("b", op[mask].tobytes())
+        shard._area = array("b", area[mask].tobytes())
+        shard._addr = array("q", addr[mask].tobytes())
+        shard._flags = array("b", flags[mask].tobytes())
+        shards.append(shard)
+    return shards
+
+
+def _split_trace_compress(
+    buffer: TraceBuffer, pes_per_cluster: int, n_clusters: int
+) -> List[TraceBuffer]:
+    pe_col, op_col, area_col, addr_col, flags_col = buffer.columns()
+    pe_bytes = pe_col.tobytes()
+    shards = []
+    for cluster in range(n_clusters):
+        lo = cluster * pes_per_cluster
+        hi = lo + pes_per_cluster
+        member = bytes(1 if lo <= p < hi else 0 for p in range(256))
+        renumber = bytes(p - lo if lo <= p < hi else 0 for p in range(256))
+        mask = pe_bytes.translate(member)
+        shard = TraceBuffer(pes_per_cluster)
+        shard._pe = array("b", compress(pe_bytes.translate(renumber), mask))
+        shard._op = array("b", compress(op_col, mask))
+        shard._area = array("b", compress(area_col, mask))
+        shard._addr = array("q", compress(addr_col, mask))
+        shard._flags = array("b", compress(flags_col, mask))
+        shards.append(shard)
+    return shards
+
+
+def replay_shard(
+    shard: TraceBuffer,
+    config: SimulationConfig,
+    pes_per_cluster: int,
+    cluster_index: int,
+) -> "tuple[SystemStats, NetworkStats]":
+    """Replay one cluster's shard through the fast kernel.
+
+    Returns ``(stats, network_stats)`` — both picklable, so this is
+    also the unit of work :func:`repro.analysis.parallel.run_clustered`
+    ships to pool workers.
+    """
+    system = ClusterCacheSystem(config, pes_per_cluster, cluster_index)
+    stats = replay(shard, system=system)
+    return stats, system.network.stats
+
+
+def replay_clustered(
+    buffer: TraceBuffer,
+    config: Optional[SimulationConfig] = None,
+    n_pes: Optional[int] = None,
+) -> ClusterStats:
+    """Serial per-cluster fast-kernel replay with deterministic merge."""
+    if config is None:
+        config = SimulationConfig()
+    pes = n_pes if n_pes is not None else buffer.n_pes
+    n_clusters = config.cluster.n_clusters
+    shards = split_trace(buffer, pes, n_clusters)
+    pes_per_cluster = pes // n_clusters
+    per_cluster = []
+    networks = []
+    for cluster_index, shard in enumerate(shards):
+        stats, network = replay_shard(
+            shard, config, pes_per_cluster, cluster_index
+        )
+        per_cluster.append(stats)
+        networks.append(network)
+    return ClusterStats(per_cluster, networks)
+
+
+def replay_interleaved(
+    buffer: TraceBuffer,
+    config: Optional[SimulationConfig] = None,
+    n_pes: Optional[int] = None,
+    check_invariants_every: Optional[int] = None,
+) -> ClusterStats:
+    """Reference-at-a-time replay through :meth:`ClusteredSystem.access`.
+
+    The ordering-faithful serial path: every reference dispatches in
+    global trace order, exactly as an execution-driven run would issue
+    them.  Counter-identical to :func:`replay_clustered` (the property
+    tests assert it), but one dispatch per reference — this is the
+    "serial" side of the clustered benchmark's speedup comparison.
+    """
+    if config is None:
+        config = SimulationConfig()
+    pes = n_pes if n_pes is not None else buffer.n_pes
+    system = ClusteredSystem(config, pes)
+    access = system.access
+    pe_col, op_col, area_col, addr_col, flags_col = buffer.columns()
+    for index, (pe, op, area, addr, flags) in enumerate(
+        zip(pe_col, op_col, area_col, addr_col, flags_col)
+    ):
+        if access(pe, op, area, addr, 0, flags)[0] == BLOCKED:
+            raise ReplayBlockedError(index, pe, op, area, addr)
+        if check_invariants_every and (index + 1) % check_invariants_every == 0:
+            system.check_invariants()
+    return system.cluster_stats()

@@ -213,6 +213,69 @@ TABLE4_COLUMNS = (
 
 
 @dataclass(frozen=True)
+class ClusterConfig:
+    """Hierarchical machine organization (Section 1's PIM target).
+
+    The paper's machine is not one flat bus: PEs are grouped into
+    clusters of about eight, each cluster a snooping bus of coherent
+    caches, and the clusters are joined by a network.  ``n_clusters``
+    partitions the PEs into equal contiguous groups, each simulated by
+    its own :class:`~repro.core.system.PIMCacheSystem`; shared memory
+    is distributed across clusters by ``interleave`` and references
+    whose block's *home* cluster differs from the issuing PE's cluster
+    pay an explicit network charge (see :mod:`repro.cluster.network`).
+
+    Network timing: each cluster owns one full-duplex link into the
+    network.  A message waits for the outbound link FIFO, is serialized
+    at ``link_width_words`` words per cycle, and crosses
+    ``ring_hops(src, dst)`` hops at ``hop_cycles`` each.
+    """
+
+    n_clusters: int = 1
+    #: Home-cluster policy for shared-memory blocks: ``"block"``
+    #: interleaves consecutive blocks round-robin across clusters;
+    #: ``"page"`` assigns runs of ``page_blocks`` blocks to one home.
+    interleave: str = "block"
+    page_blocks: int = 16
+    #: Per-hop network latency in cycles.
+    hop_cycles: int = 4
+    #: Link bandwidth — words a cluster's network link moves per cycle.
+    link_width_words: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_clusters < 1:
+            raise ValueError(
+                f"n_clusters must be >= 1, got {self.n_clusters}"
+            )
+        if self.interleave not in ("block", "page"):
+            raise ValueError(
+                f"interleave must be 'block' or 'page', got {self.interleave!r}"
+            )
+        _require_power_of_two("page_blocks", self.page_blocks)
+        if self.hop_cycles < 1:
+            raise ValueError(f"hop_cycles must be >= 1, got {self.hop_cycles}")
+        if self.link_width_words < 1:
+            raise ValueError(
+                f"link_width_words must be >= 1, got {self.link_width_words}"
+            )
+
+    def home_of(self, block: int) -> int:
+        """Home cluster of a shared-memory *block*."""
+        if self.interleave == "block":
+            return block % self.n_clusters
+        return (block // self.page_blocks) % self.n_clusters
+
+    def ring_hops(self, src: int, dst: int) -> int:
+        """Hop count between two clusters on a bidirectional ring."""
+        around = abs(src - dst)
+        return min(around, self.n_clusters - around)
+
+    def cluster_of_pe(self, pe: int, n_pes: int) -> int:
+        """Cluster of global PE index *pe* (contiguous partition)."""
+        return pe // (n_pes // self.n_clusters)
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Everything the cache system needs to run."""
 
@@ -237,6 +300,10 @@ class SimulationConfig:
     #: Model data words in cache and memory (slower; used by the
     #: coherence property tests).
     track_data: bool = False
+    #: Hierarchical organization: how many cluster buses share the
+    #: machine, and the inter-cluster network's timing.  The default
+    #: (one cluster) is the flat single-bus model of Section 4.2.
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
 
     def __post_init__(self) -> None:
         if not is_registered(self.protocol):
@@ -255,6 +322,16 @@ class SimulationConfig:
     def with_cache(self, cache: CacheConfig) -> "SimulationConfig":
         """Copy of this config with a different cache geometry."""
         return replace(self, cache=cache)
+
+    def with_clusters(self, n_clusters: int, **kwargs) -> "SimulationConfig":
+        """Copy of this config partitioned into *n_clusters* clusters.
+
+        Extra keyword arguments are forwarded to :class:`ClusterConfig`
+        (``hop_cycles``, ``interleave``, ...).
+        """
+        return replace(
+            self, cluster=ClusterConfig(n_clusters=n_clusters, **kwargs)
+        )
 
 
 @dataclass(frozen=True)

@@ -140,6 +140,7 @@ def replay(
     config: Optional[SimulationConfig] = None,
     n_pes: Optional[int] = None,
     check_invariants_every: Optional[int] = None,
+    system: Optional[PIMCacheSystem] = None,
 ) -> SystemStats:
     """Replay *buffer* against a fresh cache system and return its stats.
 
@@ -147,18 +148,40 @@ def replay(
     environment toggle — see :func:`invariant_check_interval`) switches
     to the checked per-access loop and validates the coherence
     invariants every N references.
+
+    *system* replays into a caller-built system instead of a fresh
+    ``PIMCacheSystem(config, n_pes)`` — the hook the clustered fast
+    path uses to run per-cluster shards through this same inlined
+    kernel (a :class:`~repro.cluster.system.ClusterCacheSystem` keeps
+    its network-charging handler wrappers; the kernel only bypasses
+    them for bus-free cache hits, which never cross the network).  A
+    provided system overrides *config*/*n_pes*; blocked references
+    then raise without the trace-index second pass (the caller owns
+    system construction, so the diagnostic replay cannot be rebuilt
+    here).
     """
-    if config is None:
-        config = SimulationConfig()
-    pes = n_pes if n_pes is not None else buffer.n_pes
+    caller_system = system
+    if caller_system is not None:
+        config = caller_system.config
+        pes = caller_system.n_pes
+    else:
+        if config is None:
+            config = SimulationConfig()
+        pes = n_pes if n_pes is not None else buffer.n_pes
     if check_invariants_every is None:
         check_invariants_every = invariant_check_interval()
     if check_invariants_every:
         _validate_codes(buffer)
         return _replay_checked(
-            PIMCacheSystem(config, pes), buffer, check_invariants_every
+            caller_system if caller_system is not None
+            else PIMCacheSystem(config, pes),
+            buffer,
+            check_invariants_every,
         )
-    system = PIMCacheSystem(config, pes)
+    system = (
+        caller_system if caller_system is not None
+        else PIMCacheSystem(config, pes)
+    )
     # Hot loop: dispatch straight off the system's handler table instead
     # of going through :meth:`PIMCacheSystem.access`, folding the
     # per-reference bookkeeping into the loop.  Two access() duties are
@@ -279,6 +302,8 @@ def replay(
             result = handler(pe, op, area, addr, block, 0, flags)
             gtick = cache._tick
             if result[0] == BLOCKED:
+                if caller_system is not None:
+                    raise ReplayBlockedError(-1, pe, op, area, addr)
                 raise _blocked_error(buffer, config, pes, pe, op, area, addr)
             if waiting:  # pragma: no cover - see note above
                 waiting.pop(pe, None)
@@ -292,6 +317,8 @@ def replay(
         ):
             result = table[op][area](pe, op, area, addr, addr >> shift, 0, flags)
             if result[0] == BLOCKED:
+                if caller_system is not None:
+                    raise ReplayBlockedError(-1, pe, op, area, addr)
                 raise _blocked_error(buffer, config, pes, pe, op, area, addr)
             if waiting:  # pragma: no cover - see note above
                 waiting.pop(pe, None)

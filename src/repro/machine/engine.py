@@ -58,7 +58,8 @@ class Engine:
         "reductions",
         "suspensions",
         "awaiting",
-        "_victim_rr",
+        "_victim_order",
+        "_victim_idx",
         "idle_backoff",
         "_backoff_step",
         "advertising",
@@ -73,7 +74,8 @@ class Engine:
         self.suspensions = 0
         #: PE we posted a work request to, awaiting its reply.
         self.awaiting: Optional[int] = None
-        self._victim_rr = pe  # round-robin victim cursor
+        self._victim_order = self._build_victim_order()
+        self._victim_idx = -1  # cursor into the victim order
         #: Turns to stay quiet after an unsuccessful steal round.
         self.idle_backoff = 0
         self._backoff_step = 0
@@ -552,13 +554,43 @@ class Engine:
 
     # ------------------------------------------------------------------
 
+    def _build_victim_order(self) -> "list[int]":
+        """Cyclic victim order for work-requesting, with cluster affinity.
+
+        On a flat machine (one cluster) this is plain round-robin over
+        the other PEs, starting after ``self.pe`` — the exact sequence
+        the pre-cluster scheduler produced.  On a clustered machine the
+        same-cluster peers are interleaved ahead of remote PEs (one full
+        local pass between successive remote candidates), so goals
+        mostly circulate within a cluster bus and only occasionally
+        migrate across the network — the cluster-affinity distribution
+        that makes clustered benchmark traces cross-cluster-realistic.
+        """
+        machine = self.machine
+        n_pes = machine.n_pes
+        ring = [(self.pe + step) % n_pes for step in range(1, n_pes)]
+        clusters = getattr(machine, "n_clusters", 1)
+        if clusters <= 1:
+            return ring
+        pes_per_cluster = n_pes // clusters
+        my_cluster = self.pe // pes_per_cluster
+        local = [q for q in ring if q // pes_per_cluster == my_cluster]
+        remote = [q for q in ring if q // pes_per_cluster != my_cluster]
+        if not local:
+            return remote
+        order: "list[int]" = []
+        for remote_pe in remote:
+            order.extend(local)
+            order.append(remote_pe)
+        return order
+
     def next_victim(self) -> int:
-        """Round-robin choice of the next PE to request work from."""
-        n_pes = self.machine.n_pes
-        self._victim_rr = (self._victim_rr + 1) % n_pes
-        if self._victim_rr == self.pe:
-            self._victim_rr = (self._victim_rr + 1) % n_pes
-        return self._victim_rr
+        """Next PE to request work from (see :meth:`_build_victim_order`)."""
+        order = self._victim_order
+        if not order:
+            return self.pe
+        self._victim_idx = (self._victim_idx + 1) % len(order)
+        return order[self._victim_idx]
 
     def __repr__(self) -> str:
         return (

@@ -22,10 +22,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
+from repro.cluster.network import NetworkStats
+from repro.cluster.system import cluster_system
 from repro.core.config import MachineConfig, SimulationConfig
 from repro.core.replay import invariant_check_interval
 from repro.core.stats import SystemStats
-from repro.core.system import PIMCacheSystem
 from repro.machine import builtins as builtin_module
 from repro.machine.compiler import Program, compile_program
 from repro.machine.engine import Engine, STATUS_RUNNABLE
@@ -90,6 +91,8 @@ class MachineResult:
     stats: Optional[SystemStats] = None
     #: Captured reference stream (None if capture was off).
     trace: Optional[TraceBuffer] = None
+    #: Merged inter-cluster network counters (None on a one-bus machine).
+    network: Optional[NetworkStats] = None
 
     def __repr__(self) -> str:
         return (
@@ -121,10 +124,12 @@ class KL1Machine:
             program = compile_program(program, max_goal_args=config.max_goal_args)
         self.program = program
         self.symbols = program.symbols
-        self.system = (
-            PIMCacheSystem(sim_config, config.n_pes)
-            if sim_config is not None
-            else None
+        # K > 1 in sim_config.cluster substitutes the hierarchical
+        # system (per-cluster buses + inter-cluster network) for the
+        # flat single-bus model; the facade exposes the same surface.
+        self.system = cluster_system(sim_config, config.n_pes)
+        self.n_clusters = (
+            sim_config.cluster.n_clusters if sim_config is not None else 1
         )
         self.trace = TraceBuffer(config.n_pes) if config.capture_trace else None
         self.port = MemoryPort(
@@ -377,6 +382,13 @@ class KL1Machine:
             gc_words_reclaimed=self.gc_words_reclaimed,
             stats=self.system.stats if self.system is not None else None,
             trace=self.trace,
+            network=(
+                NetworkStats.merged(
+                    [network.stats for network in self.system.networks]
+                )
+                if getattr(self.system, "networks", None)
+                else None
+            ),
         )
 
     def collect(self):

@@ -17,6 +17,10 @@ happen, not just end-of-run totals:
 * ``LOCK`` — lock-protocol activity: ``LH`` (conflict drawn, busy-wait
   entered), ``UL`` (unlock broadcast to waiters), ``LR_NO_BUS`` (lock
   acquired with zero bus cycles), ``LR_BUS``, ``SPURIOUS_UNLOCK``.
+* ``NETWORK`` — an access crossed the inter-cluster boundary
+  (:mod:`repro.cluster`): ``detail`` names the destination cluster and
+  the fetch/write/invalidate forwards charged, ``value`` is the cycles
+  the issuing PE stalled (queue wait + transit).
 
 Events are cheap named tuples; :meth:`ProtocolEvent.to_dict` renders the
 JSONL form (see ``docs/OBSERVABILITY.md`` for the schema).
@@ -38,6 +42,7 @@ class EventKind(enum.IntEnum):
     DEMOTION = 2
     PURGE = 3
     LOCK = 4
+    NETWORK = 5
 
 
 #: Human-readable event-kind names, indexed by ``EventKind`` value.

@@ -84,9 +84,11 @@ def build_manifest(
         "command": command if command is not None else " ".join(sys.argv),
         "config": config_to_dict(config) if config is not None else None,
         "config_hash": config_fingerprint(config) if config is not None else None,
-        # Surfaced from the config so cross-protocol results stay
-        # attributable without digging through the nested config dict.
+        # Surfaced from the config so cross-protocol and multi-cluster
+        # results stay attributable without digging through the nested
+        # config dict.
         "protocol": config.protocol if config is not None else None,
+        "clusters": config.cluster.n_clusters if config is not None else None,
         "seed": seed,
         "trace_cache_key": trace_cache_key,
         "wall_seconds": wall_seconds,

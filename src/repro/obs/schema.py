@@ -61,6 +61,10 @@ def validate_manifest(record: Mapping) -> Mapping:
     if "protocol" in record and record["protocol"] is not None:
         if not isinstance(record["protocol"], str):
             raise SchemaError(f"{where}.protocol: expected str or null")
+    if "clusters" in record and record["clusters"] is not None:
+        clusters = record["clusters"]
+        if not isinstance(clusters, int) or isinstance(clusters, bool) or clusters < 1:
+            raise SchemaError(f"{where}.clusters: expected a positive int or null")
     config = _require(record, where, "config", None)
     if config is not None and not isinstance(config, Mapping):
         raise SchemaError(f"{where}.config: expected an object or null")
@@ -111,6 +115,51 @@ def validate_window(record: Mapping) -> Mapping:
         raise SchemaError(f"{where}.refs: windows are never empty, got {record['refs']}")
     if record["refs"] != record["hits"] + record["misses"]:
         raise SchemaError(f"{where}: refs != hits + misses")
+    return record
+
+
+#: Schema tag of ``repro compare --json`` output (the producer lives in
+#: :mod:`repro.analysis.protocols`; the tag lives here so the validator
+#: has no upward dependency on the analysis layer).
+COMPARISON_SCHEMA = "repro.obs/comparison/v1"
+
+
+def validate_comparison(record: Mapping) -> Mapping:
+    """Validate one machine-readable protocol/cluster comparison."""
+    where = "comparison"
+    schema = _require(record, where, "schema", str)
+    if schema != COMPARISON_SCHEMA:
+        raise SchemaError(
+            f"{where}.schema: expected {COMPARISON_SCHEMA!r}, got {schema!r}"
+        )
+    rows = _require(record, where, "rows", list)
+    if not rows:
+        raise SchemaError(f"{where}.rows: a comparison needs at least one row")
+    for index, row in enumerate(rows):
+        entry = f"{where}.rows[{index}]"
+        if not isinstance(row, Mapping):
+            raise SchemaError(f"{entry}: expected an object")
+        _require(row, entry, "protocol", str)
+        for key in (
+            "bus_cycles", "memory_busy_cycles", "swap_outs", "c2c_transfers",
+        ):
+            value = _require(row, entry, key, int)
+            if isinstance(value, bool):
+                raise SchemaError(f"{entry}.{key}: expected int, got bool")
+        ratio = _require(row, entry, "miss_ratio", (int, float))
+        if not 0.0 <= float(ratio) <= 1.0:
+            raise SchemaError(f"{entry}.miss_ratio: {ratio} outside [0, 1]")
+        for key in ("network_messages", "network_stall_cycles"):
+            if key in row and (
+                not isinstance(row[key], int) or isinstance(row[key], bool)
+            ):
+                raise SchemaError(f"{entry}.{key}: expected int")
+    if "clusters" in record and record["clusters"] is not None:
+        clusters = record["clusters"]
+        if not isinstance(clusters, int) or isinstance(clusters, bool) or clusters < 1:
+            raise SchemaError(f"{where}.clusters: expected a positive int or null")
+    if "manifest" in record and record["manifest"] is not None:
+        validate_manifest(record["manifest"])
     return record
 
 

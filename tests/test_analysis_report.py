@@ -10,6 +10,7 @@ def test_report_contains_every_section(tiny_workloads):
         "Figure 1", "Figure 2", "Figure 3",
         "Associativity", "Bus width", "Per-mechanism",
         "SM-state ablation", "Write-policy ablation",
+        "Cluster traffic",
     ):
         assert heading in text, heading
 

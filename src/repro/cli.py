@@ -494,6 +494,105 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    import json
+    import time
+
+    from repro.obs.manifest import build_manifest
+    from repro.obs.schema import VERIFY_SCHEMA, validate_verify
+    from repro.verify import ModelCheckOptions, check_protocol, run_fuzz
+    from repro.verify.model import broken_demo_spec
+
+    if args.all and args.protocol:
+        print("error: --all and --protocol are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.protocol:
+        names = [p.strip() for p in args.protocol.split(",") if p.strip()]
+        unknown = [p for p in names if not is_registered(p)]
+        if unknown:
+            print(f"error: unknown protocol(s) {', '.join(unknown)} "
+                  f"(choose from {', '.join(protocol_names())})",
+                  file=sys.stderr)
+            return 2
+    else:
+        names = list(protocol_names())
+    try:
+        cluster_counts = tuple(
+            int(k) for k in args.clusters.split(",") if k.strip()
+        )
+    except ValueError:
+        print(f"error: --clusters expects comma-separated integers, "
+              f"got {args.clusters!r}", file=sys.stderr)
+        return 2
+
+    started = time.time()
+    results = []
+    fuzz_report = None
+    clean = True
+    try:
+        if args.demo_broken:
+            # Demonstrate the counterexample printer on a spec whose
+            # supplier table drops a dirty state without copyback.
+            results.append(check_protocol(broken_demo_spec()))
+            clean = results[-1].clean  # False by construction
+        else:
+            if not args.fuzz_only:
+                options = ModelCheckOptions(
+                    n_pes=args.pes,
+                    n_blocks=args.blocks,
+                    block_words=args.words,
+                    max_states=args.max_states,
+                )
+                for name in names:
+                    result = check_protocol(name, options)
+                    results.append(result)
+                    clean = clean and result.clean
+            if args.fuzz or args.fuzz_only:
+                fuzz_report = run_fuzz(
+                    seed=args.seed,
+                    budget=args.budget,
+                    n_pes=args.fuzz_pes,
+                    refs_per_case=args.refs_per_case,
+                    cluster_counts=cluster_counts,
+                    protocols=names if args.protocol else None,
+                )
+                clean = clean and fuzz_report.clean
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    wall = time.time() - started
+
+    if args.json or args.output:
+        report = {
+            "schema": VERIFY_SCHEMA,
+            "clean": clean,
+            "model_check": [r.as_dict() for r in results] or None,
+            "fuzz": fuzz_report.as_dict() if fuzz_report else None,
+            "manifest": build_manifest(
+                seed=args.seed,
+                wall_seconds=wall,
+                command="verify",
+                extra={"kind": "verify"},
+            ),
+        }
+        validate_verify(report)
+        text = json.dumps(report, indent=2)
+        if args.output:
+            Path(args.output).write_text(text + "\n")
+            print(f"verification report written: {args.output}")
+        else:
+            print(text)
+        return 0 if clean else 1
+    for result in results:
+        print(result.render())
+    if fuzz_report is not None:
+        print(fuzz_report.render())
+    verdict = "clean" if clean else "FAILED"
+    print(f"verify: {verdict} in {wall:.1f}s")
+    return 0 if clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -680,6 +779,60 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_options(compare_parser, protocol=False)
     _add_cluster_options(compare_parser)
     compare_parser.set_defaults(handler=cmd_compare)
+
+    verify_parser = commands.add_parser(
+        "verify",
+        help="model-check the protocol specs and differentially fuzz "
+             "every replay path against a flat-memory oracle",
+    )
+    verify_parser.add_argument("--all", action="store_true",
+                               help="model-check every registered protocol "
+                                    "(the default; spelled out for scripts)")
+    verify_parser.add_argument("--protocol", metavar="A,B,...",
+                               help="comma-separated protocols to verify "
+                                    "(default: every registered protocol)")
+    verify_parser.add_argument("--fuzz", action="store_true",
+                               help="also run the differential fuzzer "
+                                    "after model checking")
+    verify_parser.add_argument("--fuzz-only", action="store_true",
+                               help="skip model checking, only fuzz")
+    verify_parser.add_argument("--seed", type=int, default=0,
+                               help="fuzzer base seed (default 0)")
+    verify_parser.add_argument("--budget", type=int, default=10_000,
+                               help="fuzzer reference budget "
+                                    "(default 10000)")
+    verify_parser.add_argument("--pes", type=int, default=2,
+                               help="model-check PE count (default 2)")
+    verify_parser.add_argument("--blocks", type=int, default=1,
+                               help="model-check blocks per cache "
+                                    "(default 1)")
+    verify_parser.add_argument("--words", type=int, default=2,
+                               help="model-check words per block, a power "
+                                    "of two (default 2)")
+    verify_parser.add_argument("--max-states", type=int, default=200_000,
+                               help="abort the state enumeration past this "
+                                    "many states (default 200000)")
+    verify_parser.add_argument("--fuzz-pes", type=int, default=4,
+                               help="fuzzer PE count (default 4)")
+    verify_parser.add_argument("--refs-per-case", type=int, default=2_000,
+                               help="references per fuzz case "
+                                    "(default 2000)")
+    verify_parser.add_argument("--clusters", default="1,2",
+                               metavar="K,K,...",
+                               help="cluster counts the fuzzer cross-checks "
+                                    "(default 1,2)")
+    verify_parser.add_argument("--demo-broken", action="store_true",
+                               help="model-check a deliberately broken pim "
+                                    "variant and print its counterexample "
+                                    "(exits 1)")
+    verify_parser.add_argument("--json", action="store_true",
+                               help="emit the schema-validated "
+                                    "repro.obs/verify/v1 JSON instead of "
+                                    "text")
+    verify_parser.add_argument("--output", "-o",
+                               help="write the JSON report to a file "
+                                    "(implies --json)")
+    verify_parser.set_defaults(handler=cmd_verify)
 
     return parser
 

@@ -27,8 +27,7 @@ from typing import List, Optional
 
 from repro.cluster.system import ClusterCacheSystem, ClusterStats, ClusteredSystem
 from repro.core.config import SimulationConfig
-from repro.core.replay import ReplayBlockedError, replay
-from repro.core.system import BLOCKED
+from repro.core.replay import replay, replay_access_driven
 from repro.trace.buffer import TraceBuffer
 
 try:  # optional: vectorizes the split when the host has it
@@ -156,6 +155,8 @@ def replay_interleaved(
     config: Optional[SimulationConfig] = None,
     n_pes: Optional[int] = None,
     check_invariants_every: Optional[int] = None,
+    values=None,
+    on_result=None,
 ) -> ClusterStats:
     """Reference-at-a-time replay through :meth:`ClusteredSystem.access`.
 
@@ -164,18 +165,21 @@ def replay_interleaved(
     them.  Counter-identical to :func:`replay_clustered` (the property
     tests assert it), but one dispatch per reference — this is the
     "serial" side of the clustered benchmark's speedup comparison.
+
+    ``values`` and ``on_result`` are forwarded to
+    :func:`repro.core.replay.replay_access_driven`; the differential
+    oracle uses them to inject write values and check every read against
+    its per-cluster flat-memory reference model.
     """
     if config is None:
         config = SimulationConfig()
     pes = n_pes if n_pes is not None else buffer.n_pes
     system = ClusteredSystem(config, pes)
-    access = system.access
-    pe_col, op_col, area_col, addr_col, flags_col = buffer.columns()
-    for index, (pe, op, area, addr, flags) in enumerate(
-        zip(pe_col, op_col, area_col, addr_col, flags_col)
-    ):
-        if access(pe, op, area, addr, 0, flags)[0] == BLOCKED:
-            raise ReplayBlockedError(index, pe, op, area, addr)
-        if check_invariants_every and (index + 1) % check_invariants_every == 0:
-            system.check_invariants()
+    replay_access_driven(
+        buffer,
+        system,
+        values=values,
+        on_result=on_result,
+        check_invariants_every=check_invariants_every,
+    )
     return system.cluster_stats()

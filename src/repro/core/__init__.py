@@ -29,7 +29,7 @@ from repro.core.states import (
 )
 from repro.core.stats import SystemStats
 from repro.core.system import BLOCKED, PIMCacheSystem
-from repro.core.replay import replay
+from repro.core.replay import replay, replay_access_driven
 from repro.core.illinois import illinois_config, pim_config, protocol_config
 from repro.core.protocol import (
     ProtocolSpec,
@@ -59,4 +59,5 @@ __all__ = [
     "protocol_names",
     "register",
     "replay",
+    "replay_access_driven",
 ]

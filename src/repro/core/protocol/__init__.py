@@ -19,6 +19,7 @@ from repro.core.protocol.registry import (
     is_registered,
     protocol_names,
     register,
+    temporarily_register,
 )
 from repro.core.protocol.spec import (
     ProtocolSpec,
@@ -41,4 +42,5 @@ __all__ = [
     "is_registered",
     "protocol_names",
     "register",
+    "temporarily_register",
 ]

@@ -18,7 +18,8 @@ pick it up.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterator, Tuple
 
 from repro.core.protocol.spec import (
     ProtocolSpec,
@@ -33,6 +34,7 @@ __all__ = [
     "is_registered",
     "protocol_names",
     "register",
+    "temporarily_register",
 ]
 
 _INV = CacheState.INV
@@ -53,6 +55,26 @@ def register(spec: ProtocolSpec, replace: bool = False) -> ProtocolSpec:
         )
     _REGISTRY[spec.name] = spec
     return spec
+
+
+@contextmanager
+def temporarily_register(spec: ProtocolSpec) -> Iterator[ProtocolSpec]:
+    """Register *spec* for the duration of a ``with`` block.
+
+    A previously registered protocol of the same name is shadowed and
+    restored on exit, so the model checker (and tests) can simulate
+    one-off or deliberately broken specs without polluting the global
+    registry.
+    """
+    previous = _REGISTRY.get(spec.name)
+    _REGISTRY[spec.name] = spec
+    try:
+        yield spec
+    finally:
+        if previous is None:
+            _REGISTRY.pop(spec.name, None)
+        else:
+            _REGISTRY[spec.name] = previous
 
 
 def get_protocol(name: str) -> ProtocolSpec:

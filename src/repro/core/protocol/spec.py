@@ -161,6 +161,15 @@ class ProtocolSpec:
                     f"protocol {self.name!r}: supplier rule for clean "
                     f"{state.name} sets copyback"
                 )
+        for state in _DIRTY:
+            rule = self.supplier[state]
+            if rule.next_state not in _DIRTY and not rule.copyback:
+                raise ValueError(
+                    f"protocol {self.name!r}: supplier rule for dirty "
+                    f"{state.name} drops to clean {rule.next_state.name} "
+                    "without copyback — the only up-to-date copy of the "
+                    "block would be abandoned"
+                )
 
     # -- derived shape queries (used by the compiled system and kernel) --
 

@@ -84,17 +84,34 @@ def _validate_codes(buffer: TraceBuffer) -> None:
         raise ValueError("trace contains an out-of-range op or area code")
 
 
-def _replay_checked(
-    system: PIMCacheSystem,
+def replay_access_driven(
     buffer: TraceBuffer,
-    check_every: Optional[int] = None,
+    system,
+    values=None,
+    on_result=None,
+    check_invariants_every: Optional[int] = None,
 ) -> SystemStats:
-    """Reference replay loop: per-access dispatch with full bookkeeping.
+    """Drive *buffer* through ``system.access`` one reference at a time.
 
-    Slower than the inlined kernel below but exact on indices — a
-    blocked reference raises :class:`ReplayBlockedError` with the trace
-    position — and able to run :meth:`PIMCacheSystem.check_invariants`
-    every *check_every* references (and once more at the end).
+    The slow, exact replay loop: per-access dispatch with full
+    bookkeeping, raising :class:`ReplayBlockedError` with the trace
+    position of a blocked reference, and running
+    ``system.check_invariants()`` every *check_invariants_every*
+    references (and once more at the end).  *system* is anything with
+    the access-system surface (``access``, ``check_invariants``,
+    ``stats``) — a :class:`PIMCacheSystem` or a
+    :class:`~repro.cluster.system.ClusteredSystem`.
+
+    Two hooks exist for the differential oracle in
+    :mod:`repro.verify.oracle`:
+
+    * ``values(index) -> int`` supplies the data word a write-like
+      reference stores (traces carry no value column, so the oracle
+      derives values deterministically from the trace index);
+    * ``on_result(index, pe, op, area, address, result)`` observes every
+      access result, ``result`` being the ``(cycles, flags, value)``
+      tuple — the seam the word-granularity reference model checks
+      read values through.
     """
     access = system.access
     pe_col, op_col, area_col, addr_col, flags_col = buffer.columns()
@@ -102,13 +119,27 @@ def _replay_checked(
     for index, (pe, op, area, addr, flags) in enumerate(
         zip(pe_col, op_col, area_col, addr_col, flags_col)
     ):
-        if access(pe, op, area, addr, 0, flags)[0] == BLOCKED:
+        value = values(index) if values is not None else 0
+        result = access(pe, op, area, addr, value, flags)
+        if result[0] == BLOCKED:
             raise ReplayBlockedError(index, pe, op, area, addr)
-        if check_every and (index + 1) % check_every == 0:
+        if on_result is not None:
+            on_result(index, pe, op, area, addr, result)
+        if check_invariants_every and (index + 1) % check_invariants_every == 0:
             system.check_invariants()
-    if check_every and index >= 0:
+    if check_invariants_every and index >= 0:
         system.check_invariants()
     return system.stats
+
+
+def _replay_checked(
+    system: PIMCacheSystem,
+    buffer: TraceBuffer,
+    check_every: Optional[int] = None,
+) -> SystemStats:
+    return replay_access_driven(
+        buffer, system, check_invariants_every=check_every
+    )
 
 
 def _blocked_error(

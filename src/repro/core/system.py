@@ -436,6 +436,19 @@ class PIMCacheSystem:
         self._pe_cycles[pe] += 1
         return 1
 
+    def _copyback_dirty_remotes(self, block: int, remotes: List[int]) -> None:
+        """Flush any dirty copy in *remotes* before an invalidation that
+        transfers no ownership (a through-store's I broadcast): the dying
+        copy's copy-back duty is discharged, not dropped.  Reachable only
+        when an optimized command (DW's fetch-free allocation) dirtied a
+        block under a through-store protocol — pure through protocols
+        never dirty a copy on their own."""
+        for other in remotes:
+            line = self.caches[other].peek(block)
+            if line.state in DIRTY_STATES:
+                self.stats.swap_outs += 1
+                self._writeback(block, line)
+
     def _writeback(self, block: int, line) -> None:
         if self.track_data and line.data is not None:
             base = block << self._block_shift
@@ -639,14 +652,17 @@ class PIMCacheSystem:
                 stats.hits[area][sop] += 1
                 if self.track_data:
                     line.data[address & self._block_mask] = value
-                    self.memory[address] = value
                 if self._store_remote_update:
                     if self.track_data:
                         offset = address & self._block_mask
                         for other in self._remote_holders(pe, block):
                             self.caches[other].peek(block).data[offset] = value
                 else:
-                    self._invalidate_remotes(pe, block)
+                    remotes = self._remote_holders(pe, block)
+                    self._copyback_dirty_remotes(block, remotes)
+                    self._invalidate_remotes(pe, block, remotes)
+                if self.track_data:
+                    self.memory[address] = value
                 promoted = self._through_promote[state]
                 if promoted is not None:
                     line.state = promoted
@@ -696,7 +712,9 @@ class PIMCacheSystem:
                     remote = self.caches[other].peek(block)
                     remote.data[address & self._block_mask] = value
         else:
-            self._invalidate_remotes(pe, block)
+            remotes = self._remote_holders(pe, block)
+            self._copyback_dirty_remotes(block, remotes)
+            self._invalidate_remotes(pe, block, remotes)
             if line is not None:
                 # Now the sole copy: apply the spec's promotion (under
                 # the built-in through policies S->EC and SM->EM — the
@@ -963,9 +981,19 @@ class PIMCacheSystem:
                 self._no_bus(pe)
                 return (1, out_flags, value)
             # Shared hit: I + LK to gain exclusivity before locking.
-            self._invalidate_remotes(pe, block)
+            # A remote SM owner dies in the broadcast without supplying
+            # data, so its copy-back duty must transfer to this copy
+            # (the copies agree word-for-word): end dirty, not EC.
+            remotes = self._remote_holders(pe, block)
+            remote_dirty = any(
+                self.caches[other].peek(block).state in DIRTY_STATES
+                for other in remotes
+            )
+            self._invalidate_remotes(pe, block, remotes)
             line.state = (
-                CacheState.EM if line.state == CacheState.SM else CacheState.EC
+                CacheState.EM
+                if remote_dirty or line.state == CacheState.SM
+                else CacheState.EC
             )
             self._register_lock(pe, address, block)
             self.stats.lr_bus += 1

@@ -163,6 +163,76 @@ def validate_comparison(record: Mapping) -> Mapping:
     return record
 
 
+#: Schema tag of ``repro verify --json`` output (produced by
+#: :mod:`repro.cli` from :mod:`repro.verify` results; the tag lives here
+#: with the other artifact tags).
+VERIFY_SCHEMA = "repro.obs/verify/v1"
+
+
+def validate_verify(record: Mapping) -> Mapping:
+    """Validate one machine-readable verification report."""
+    where = "verify"
+    schema = _require(record, where, "schema", str)
+    if schema != VERIFY_SCHEMA:
+        raise SchemaError(
+            f"{where}.schema: expected {VERIFY_SCHEMA!r}, got {schema!r}"
+        )
+    clean = _require(record, where, "clean", bool)
+    model_check = _require(record, where, "model_check", None)
+    fuzz = _require(record, where, "fuzz", None)
+    if model_check is None and fuzz is None:
+        raise SchemaError(f"{where}: needs model_check results or a fuzz report")
+    if model_check is not None:
+        if not isinstance(model_check, list) or not model_check:
+            raise SchemaError(f"{where}.model_check: expected a non-empty list")
+        for index, result in enumerate(model_check):
+            entry = f"{where}.model_check[{index}]"
+            if not isinstance(result, Mapping):
+                raise SchemaError(f"{entry}: expected an object")
+            _require(result, entry, "protocol", str)
+            _require(result, entry, "clean", bool)
+            for key in ("states", "transitions"):
+                value = _require(result, entry, key, int)
+                if isinstance(value, bool) or value < 0:
+                    raise SchemaError(f"{entry}.{key}: expected a count")
+            _require(result, entry, "complete", bool)
+            counterexample = _require(result, entry, "counterexample", None)
+            if result["clean"] != (counterexample is None):
+                raise SchemaError(
+                    f"{entry}: clean results carry no counterexample "
+                    "and violations carry one"
+                )
+            if counterexample is not None:
+                ce = f"{entry}.counterexample"
+                if not isinstance(counterexample, Mapping):
+                    raise SchemaError(f"{ce}: expected an object")
+                _require(counterexample, ce, "invariant", str)
+                _require(counterexample, ce, "detail", str)
+                steps = _require(counterexample, ce, "steps", list)
+                if not steps:
+                    raise SchemaError(f"{ce}.steps: expected at least one step")
+    if fuzz is not None:
+        entry = f"{where}.fuzz"
+        if not isinstance(fuzz, Mapping):
+            raise SchemaError(f"{entry}: expected an object")
+        for key in ("seed", "budget", "n_pes", "refs_total"):
+            value = _require(fuzz, entry, key, int)
+            if isinstance(value, bool):
+                raise SchemaError(f"{entry}.{key}: expected int, got bool")
+        _require(fuzz, entry, "clean", bool)
+        cases = _require(fuzz, entry, "cases", list)
+        for index, case in enumerate(cases):
+            case_where = f"{entry}.cases[{index}]"
+            if not isinstance(case, Mapping):
+                raise SchemaError(f"{case_where}: expected an object")
+            _require(case, case_where, "protocol", str)
+            _require(case, case_where, "variant", str)
+            _require(case, case_where, "ok", bool)
+    if "manifest" in record and record["manifest"] is not None:
+        validate_manifest(record["manifest"])
+    return record
+
+
 def validate_hotness(record: Mapping) -> Mapping:
     where = "hotness"
     schema = _require(record, where, "schema", str)

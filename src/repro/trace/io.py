@@ -46,19 +46,31 @@ def read_trace(path: Union[str, Path]) -> TraceBuffer:
         magic = fh.readline().rstrip(b"\n")
         if magic != MAGIC:
             raise TraceFormatError(f"{path}: not a PIM trace file")
-        header = fh.readline().decode("ascii").split()
+        try:
+            header = fh.readline().decode("ascii").split()
+        except UnicodeDecodeError as error:
+            raise TraceFormatError(f"{path}: non-ASCII header") from error
         if len(header) != 4:
             raise TraceFormatError(f"{path}: malformed header {header!r}")
         version, byteorder, n_pes, n_refs = header
-        if int(version) != VERSION:
+        try:
+            version_num = int(version)
+            pe_count = int(n_pes)
+            count = int(n_refs)
+        except ValueError as error:
+            raise TraceFormatError(
+                f"{path}: malformed header {header!r}"
+            ) from error
+        if version_num != VERSION:
             raise TraceFormatError(f"{path}: unsupported version {version}")
         if byteorder not in ("little", "big"):
             raise TraceFormatError(
                 f"{path}: unknown byte order {byteorder!r} in header"
             )
+        if pe_count < 1 or count < 0:
+            raise TraceFormatError(f"{path}: malformed header {header!r}")
         swap = byteorder != sys.byteorder
-        buffer = TraceBuffer(n_pes=int(n_pes))
-        count = int(n_refs)
+        buffer = TraceBuffer(n_pes=pe_count)
         for column in buffer.columns():
             typecode = fh.readline().rstrip(b"\n").decode("ascii")
             if typecode != column.typecode:
@@ -67,7 +79,15 @@ def read_trace(path: Union[str, Path]) -> TraceBuffer:
                     f"{column.typecode!r}"
                 )
             fresh = array(column.typecode)
-            fresh.fromfile(fh, count)
+            try:
+                # fromfile raises EOFError when whole items run out and
+                # ValueError when the file ends mid-item.
+                fresh.fromfile(fh, count)
+            except (EOFError, ValueError) as error:
+                raise TraceFormatError(
+                    f"{path}: truncated trace (column {column.typecode!r} "
+                    f"has {len(fresh)} of {count} entries)"
+                ) from error
             if swap:
                 # Traces are written in the producer's byte order; a
                 # foreign-endian file is converted in place rather than

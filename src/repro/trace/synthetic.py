@@ -19,9 +19,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.trace.buffer import TraceBuffer
-from repro.trace.events import AREA_BASE, Area, Op
+
+if TYPE_CHECKING:  # resolved lazily: core.config imports trace.events
+    from repro.core.config import OptimizationConfig
+from repro.trace.events import AREA_BASE, FLAG_LOCK_CONTENDED, Area, Op
 
 
 @dataclass(frozen=True)
@@ -178,4 +182,109 @@ def generate_random_trace(
     for pe, addresses in held_by_pe.items():
         for address in addresses:
             buffer.append(pe, Op.U, address >> 28, address)
+    return buffer
+
+
+def generate_contract_trace(
+    n_refs: int,
+    n_pes: int = 4,
+    seed: int = 0,
+    address_pool: int = 512,
+    block_words: int = 4,
+    opts: Optional["OptimizationConfig"] = None,
+    p_lock: float = 0.08,
+    p_contended: float = 0.1,
+) -> TraceBuffer:
+    """A random trace that also keeps the *software* contracts.
+
+    :func:`generate_random_trace` keeps lock order consistent but freely
+    reuses addresses after purging them, which is legal for the hardware
+    (the purged data is simply gone) but breaks any value oracle: the
+    paper's optimized commands let live data die by design.  This
+    generator additionally guarantees every read targets *live* data, so
+    a flat word-granularity memory model predicts the exact value of
+    every read in the trace — the property
+    :mod:`repro.verify.oracle` fuzzes against.
+
+    Concretely, a block is retired (never referenced again) once a
+    reference consumes its data under *opts*: an honoured ``RP``
+    anywhere in the block, or an honoured ``ER`` of the block's last
+    word.  Demoted commands purge nothing, so which references retire
+    depends on the optimization flags — pass the same *opts* the replay
+    will run with.  Blocks with a held lock are never retired, which
+    keeps the trailing lock drain valid.  ``DW`` needs no special care:
+    a fetch-free allocation's unwritten words read as shared memory's
+    contents, which is exactly the flat model's prediction.
+
+    A ``p_contended`` fraction of lock acquisitions carries
+    :data:`~repro.trace.events.FLAG_LOCK_CONTENDED`, re-enacting the
+    lock-holder response path identically on every replay path.
+    """
+    from repro.core.config import OptimizationConfig
+
+    rng = random.Random(seed)
+    if opts is None:
+        opts = OptimizationConfig.all()
+    buffer = TraceBuffer(n_pes=n_pes)
+    areas = list(Area)
+    held = {}  # address -> pe
+    held_by_pe = {pe: [] for pe in range(n_pes)}
+    block_mask = block_words - 1
+    n_blocks = max(1, address_pool // block_words)
+    live = {area: list(range(n_blocks)) for area in areas}
+    #: Stop retiring once a quarter of the pool is left: the trace keeps
+    #: enough live blocks for sharing and eviction traffic.
+    min_live = max(2, n_blocks // 4)
+    plain_ops = [Op.R, Op.W, Op.DW, Op.ER, Op.RP, Op.RI]
+    emitted = 0
+    while emitted < n_refs:
+        pe = rng.randrange(n_pes)
+        if held_by_pe[pe] and rng.random() < 0.5:
+            address = held_by_pe[pe].pop()
+            del held[address]
+            op = Op.UW if rng.random() < 0.7 else Op.U
+            buffer.append(pe, op, address >> 28, address)
+            emitted += 1
+            continue
+        area = areas[rng.randrange(len(areas))]
+        blocks = live[area]
+        block_index = blocks[rng.randrange(len(blocks))]
+        offset = rng.randrange(block_words)
+        address = AREA_BASE[area] + block_index * block_words + offset
+        block_base = address & ~block_mask
+        lock_in_block = [
+            (a, owner)
+            for a, owner in held.items()
+            if (a & ~block_mask) == block_base
+        ]
+        if any(owner != pe for _, owner in lock_in_block):
+            continue  # a real program would busy-wait; skip instead
+        if (
+            rng.random() < p_lock
+            and address not in held
+            and len(held_by_pe[pe]) < 2
+        ):
+            held[address] = pe
+            held_by_pe[pe].append(address)
+            flags = FLAG_LOCK_CONTENDED if rng.random() < p_contended else 0
+            buffer.append(pe, Op.LR, area, address, flags)
+            emitted += 1
+            continue
+        op = plain_ops[rng.randrange(len(plain_ops))]
+        consumes = opts.honours(op, area) and (
+            op == Op.RP or (op == Op.ER and offset == block_mask)
+        )
+        if consumes:
+            if len(blocks) <= min_live or lock_in_block:
+                op = Op.R  # keep the read, skip the purge
+            else:
+                blocks.remove(block_index)
+        buffer.append(pe, op, area, address)
+        emitted += 1
+    # Drain leftover locks (held blocks were never retired, so the
+    # closing UW/U references target live data).
+    for pe, addresses in held_by_pe.items():
+        for address in addresses:
+            op = Op.UW if rng.random() < 0.5 else Op.U
+            buffer.append(pe, op, address >> 28, address)
     return buffer

@@ -1,0 +1,69 @@
+"""Word-granularity flat-memory reference model.
+
+The oracle side of differential verification: a trivially correct
+single-copy memory.  If the coherence machinery in
+:class:`~repro.core.system.PIMCacheSystem` is right, every read it
+returns must equal what this model predicts — caches, bus patterns,
+supplier tables and purges are all supposed to be *invisible* to the
+values a program observes (for data that is still live under the
+software contracts; see :mod:`repro.verify.oracle` for how the trace
+generator keeps the contracts).
+
+Traces carry no value column (:class:`~repro.trace.buffer.TraceBuffer`
+stores pe/op/area/address/flags only), so write values are derived
+deterministically from the trace index via :func:`value_for`.  That
+keeps the oracle meaningful under trace shrinking: dropping references
+renumbers nothing, because the value written at original index ``i`` is
+recomputed from the *surviving* trace's own indices on replay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.trace.events import Op
+
+__all__ = [
+    "FlatMemory",
+    "READ_VALUE_OPS",
+    "WRITE_OPS",
+    "value_for",
+]
+
+#: Operations whose access result carries a read value to check.  ``U``
+#: reads nothing; ``W``/``UW``/``DW`` are stores.
+READ_VALUE_OPS = frozenset({Op.R, Op.LR, Op.ER, Op.RP, Op.RI})
+
+#: Operations that store the supplied value at the addressed word.
+WRITE_OPS = frozenset({Op.W, Op.UW, Op.DW})
+
+
+def value_for(index: int) -> int:
+    """The data word the reference at trace *index* writes.
+
+    ``index + 1`` keeps every written value distinct and nonzero (the
+    flat model's default for never-written words is 0, so a store of 0
+    would be indistinguishable from a lost store).
+    """
+    return index + 1
+
+
+class FlatMemory:
+    """A single flat word store — the trivially coherent memory."""
+
+    __slots__ = ("words",)
+
+    def __init__(self) -> None:
+        self.words: Dict[int, int] = {}
+
+    def read(self, address: int) -> int:
+        return self.words.get(address, 0)
+
+    def write(self, address: int, value: int) -> None:
+        self.words[address] = value
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def __repr__(self) -> str:
+        return f"FlatMemory({len(self.words)} words written)"

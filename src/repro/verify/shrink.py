@@ -1,0 +1,86 @@
+"""Automatic trace shrinking for differential-fuzzing failures.
+
+A divergence found in a 2 000-reference fuzz trace is unreadable; the
+same divergence in a dozen references is a bug report.  This is a
+delta-debugging reducer (ddmin-style, Zeller & Hildebrandt) specialized
+to :class:`~repro.trace.buffer.TraceBuffer`: repeatedly drop chunks of
+references and keep any candidate on which the caller's predicate still
+fails, halving the chunk size until single references are tried.
+
+The predicate owns the definition of "still fails" — the oracle passes
+a closure that re-runs the diverging comparison and checks the same
+divergence *kind* reproduces.  Candidates that are merely invalid (e.g.
+dropping an unlock makes a later lock acquisition block) must return
+``False`` from the predicate, not raise.
+
+Write values are derived from trace indices
+(:func:`repro.verify.reference.value_for`), so a shrunken trace is
+self-consistent: the surviving references are renumbered and both the
+replay and the flat model derive the *same* new values from the new
+indices.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.trace.buffer import TraceBuffer
+
+__all__ = ["shrink_trace", "subset"]
+
+
+def subset(buffer: TraceBuffer, keep: Sequence[int]) -> TraceBuffer:
+    """A new buffer holding *buffer*'s references at indices *keep*."""
+    pe_col, op_col, area_col, addr_col, flags_col = buffer.columns()
+    out = TraceBuffer(n_pes=buffer.n_pes)
+    append = out.append
+    for index in keep:
+        append(
+            pe_col[index],
+            op_col[index],
+            area_col[index],
+            addr_col[index],
+            flags_col[index],
+        )
+    return out
+
+
+def shrink_trace(
+    buffer: TraceBuffer,
+    still_fails: Callable[[TraceBuffer], bool],
+    max_evals: int = 256,
+) -> TraceBuffer:
+    """Shrink *buffer* to a smaller trace on which *still_fails* holds.
+
+    ``still_fails(candidate)`` must return ``True`` exactly when the
+    candidate reproduces the original failure (and ``False`` — not
+    raise — for invalid candidates).  At most *max_evals* candidates
+    are evaluated; the smallest failing trace seen is returned, which
+    is *buffer* itself if nothing smaller reproduces.  The result is
+    1-minimal with respect to the chunk sizes actually tried, not
+    globally minimal — good enough to read.
+    """
+    indices = list(range(len(buffer)))
+    evals = 0
+    chunk = max(1, len(indices) // 2)
+    while evals < max_evals:
+        shrunk_this_pass = False
+        start = 0
+        while start < len(indices) and evals < max_evals:
+            candidate = indices[:start] + indices[start + chunk:]
+            if not candidate:
+                start += chunk
+                continue
+            evals += 1
+            if still_fails(subset(buffer, candidate)):
+                indices = candidate
+                shrunk_this_pass = True
+                # Retry the same position: the next chunk slid into it.
+            else:
+                start += chunk
+        if chunk == 1:
+            if not shrunk_this_pass:
+                break
+        else:
+            chunk = max(1, chunk // 2)
+    return subset(buffer, indices)

@@ -7,12 +7,73 @@ experiment harness itself amortizes emulation runs.
 
 from __future__ import annotations
 
+import importlib.util
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.analysis.runner import Workloads
 from repro.core.config import MachineConfig, SimulationConfig
 from repro.core.system import PIMCacheSystem
 from repro.machine.machine import KL1Machine
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="regenerate tests/golden/protocol_stats.json before the run "
+             "and print a summary of every changed counter (only do this "
+             "for a deliberate change to the simulated architecture)",
+    )
+
+
+def _golden_diff_summary(old: dict, new: dict) -> list:
+    lines = []
+    for key in sorted(set(old) | set(new)):
+        if key not in old:
+            lines.append(f"  + {key} (new config)")
+        elif key not in new:
+            lines.append(f"  - {key} (config removed)")
+        elif old[key] != new[key]:
+            fields = sorted(
+                field
+                for field in set(old[key]) | set(new[key])
+                if old[key].get(field) != new[key].get(field)
+            )
+            lines.append(f"  ~ {key}: {', '.join(fields)}")
+    return lines
+
+
+def pytest_configure(config):
+    if not config.getoption("--update-goldens"):
+        return
+    # Load the generator script directly (tests/golden is not a package)
+    # and rewrite the golden file before any test collects it.
+    script = Path(__file__).parent / "golden" / "generate_goldens.py"
+    spec = importlib.util.spec_from_file_location("generate_goldens", script)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    old = (
+        json.loads(module.GOLDEN_PATH.read_text())
+        if module.GOLDEN_PATH.exists()
+        else {}
+    )
+    new = module.generate()
+    module.GOLDEN_PATH.write_text(
+        json.dumps(new, indent=1, sort_keys=True) + "\n"
+    )
+    changed = _golden_diff_summary(old, new)
+    print(f"\n--update-goldens: wrote {len(new)} records to "
+          f"{module.GOLDEN_PATH}")
+    if changed:
+        print(f"{len(changed)} of {len(new)} config(s) changed:")
+        for line in changed:
+            print(line)
+    else:
+        print("no changes against the committed goldens")
 
 
 @pytest.fixture

@@ -290,3 +290,106 @@ def test_compare_rejects_unknown_protocol(capsys):
     ]) == 2
     err = capsys.readouterr().err
     assert "mesi2" in err and "write_once" in err
+
+
+def test_bench_quick_writes_schema_valid_report(tmp_path, capsys):
+    import json
+
+    from repro.obs.schema import validate_manifest
+
+    out_file = tmp_path / "bench.json"
+    assert main([
+        "bench", "--quick", "--repeats", "1", "-o", str(out_file),
+    ]) == 0
+    report = json.loads(out_file.read_text())
+    assert report["benchmark"] == "replay"
+    assert report["workloads"]["hot"]["refs_per_sec"] > 0
+    assert report["sweep"]["results_identical"]
+    validate_manifest(report["manifest"])
+
+
+def test_compare_json_is_schema_valid(capsys):
+    import json
+
+    from repro.obs.schema import validate_comparison
+
+    assert main([
+        "compare", "--benchmark", "pascal", "--scale", "tiny", "--pes", "2",
+        "--protocol", "pim,illinois", "--json",
+    ]) == 0
+    report = json.loads(capsys.readouterr().out)
+    validate_comparison(report)
+    assert {row["protocol"] for row in report["rows"]} == {"pim", "illinois"}
+
+
+def test_verify_single_protocol(capsys):
+    assert main(["verify", "--protocol", "pim"]) == 0
+    out = capsys.readouterr().out
+    assert "pim: clean" in out
+    assert "verify: clean" in out
+
+
+def test_verify_all_protocols(capsys):
+    from repro.core.protocol import protocol_names
+
+    assert main(["verify", "--all"]) == 0
+    out = capsys.readouterr().out
+    for name in protocol_names():
+        assert f"{name}: clean" in out
+
+
+def test_verify_demo_broken_prints_counterexample(capsys):
+    assert main(["verify", "--demo-broken"]) == 1
+    out = capsys.readouterr().out
+    assert "counterexample (dirty-loss)" in out
+    assert "verify: FAILED" in out
+
+
+def test_verify_fuzz_only_json_is_schema_valid(capsys):
+    import json
+
+    from repro.obs.schema import validate_verify
+
+    assert main([
+        "verify", "--fuzz-only", "--seed", "0", "--budget", "2000",
+        "--refs-per-case", "500", "--json",
+    ]) == 0
+    report = json.loads(capsys.readouterr().out)
+    validate_verify(report)
+    assert report["clean"] is True
+    assert report["model_check"] is None
+    assert report["fuzz"]["refs_total"] >= 2000
+    assert report["manifest"]["extra"]["kind"] == "verify"
+
+
+def test_verify_writes_report_file(tmp_path, capsys):
+    import json
+
+    from repro.obs.schema import validate_verify
+
+    out_file = tmp_path / "verify.json"
+    assert main([
+        "verify", "--protocol", "pim", "--fuzz", "--budget", "1000",
+        "--refs-per-case", "500", "-o", str(out_file),
+    ]) == 0
+    report = json.loads(out_file.read_text())
+    validate_verify(report)
+    assert report["model_check"][0]["protocol"] == "pim"
+    assert report["fuzz"] is not None
+
+
+def test_verify_rejects_all_with_protocol(capsys):
+    assert main(["verify", "--all", "--protocol", "pim"]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_verify_rejects_unknown_protocol(capsys):
+    assert main(["verify", "--protocol", "mesi2"]) == 2
+    assert "mesi2" in capsys.readouterr().err
+
+
+def test_verify_rejects_malformed_clusters(capsys):
+    assert main([
+        "verify", "--fuzz-only", "--clusters", "two,4",
+    ]) == 2
+    assert "--clusters" in capsys.readouterr().err

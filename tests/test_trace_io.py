@@ -1,9 +1,17 @@
-"""Trace file round-trip tests."""
+"""Trace file round-trip tests.
+
+Fixed-example tests cover the header/typecode rejection paths; the
+hypothesis properties at the bottom pin the stronger guarantees —
+write→read identity for arbitrary buffers, foreign-endian byteswap
+transparency, and ``TraceFormatError`` (never a raw ``EOFError`` or
+``ValueError``) on a file truncated at *any* byte offset.
+"""
 
 import sys
 from array import array
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.trace.buffer import TraceBuffer
 from repro.trace.events import Area, Op
@@ -87,3 +95,109 @@ def test_rejects_bad_version(tmp_path):
     path.write_bytes(data)
     with pytest.raises(TraceFormatError):
         read_trace(path)
+
+
+def test_rejects_non_numeric_header_fields(tmp_path):
+    path = tmp_path / "nan.trace"
+    path.write_bytes(b"PIMTRACE\n1 little four 10\n")
+    with pytest.raises(TraceFormatError, match="malformed header"):
+        read_trace(path)
+
+
+def test_rejects_negative_counts(tmp_path):
+    path = tmp_path / "neg.trace"
+    path.write_bytes(b"PIMTRACE\n1 little 4 -1\n")
+    with pytest.raises(TraceFormatError, match="malformed header"):
+        read_trace(path)
+
+
+def test_rejects_binary_header(tmp_path):
+    path = tmp_path / "bin.trace"
+    path.write_bytes(b"PIMTRACE\n\xff\xfe\x80\n")
+    with pytest.raises(TraceFormatError):
+        read_trace(path)
+
+
+def test_truncated_column_names_the_shortfall(tmp_path):
+    buffer = generate_random_trace(100, n_pes=2, seed=1)
+    path = tmp_path / "cut.trace"
+    write_trace(buffer, path)
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) - 4])
+    with pytest.raises(TraceFormatError, match="truncated"):
+        read_trace(path)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis properties.
+
+_ref = st.tuples(
+    st.integers(0, 7),  # pe
+    st.sampled_from(sorted(Op)),  # op
+    st.sampled_from(sorted(Area)),  # area
+    st.integers(0, 2**40),  # address
+    st.sampled_from([0, 1]),  # flags
+)
+
+
+def _buffer_from(refs, n_pes=8):
+    buffer = TraceBuffer(n_pes=n_pes)
+    for pe, op, area, addr, flags in refs:
+        buffer.append(pe, op, area, addr, flags)
+    return buffer
+
+
+@settings(max_examples=60, deadline=None)
+@given(refs=st.lists(_ref, max_size=200), n_pes=st.integers(1, 8))
+def test_property_roundtrip_identity(tmp_path_factory, refs, n_pes):
+    buffer = _buffer_from(refs, n_pes=n_pes)
+    path = tmp_path_factory.mktemp("io") / "prop.trace"
+    write_trace(buffer, path)
+    loaded = read_trace(path)
+    assert loaded.n_pes == buffer.n_pes
+    assert list(loaded) == list(buffer)
+
+
+@settings(max_examples=40, deadline=None)
+@given(refs=st.lists(_ref, min_size=1, max_size=120))
+def test_property_foreign_endian_roundtrip(tmp_path_factory, refs):
+    # Fabricate the byte-for-byte file a foreign-endian producer would
+    # have written: multi-byte columns byteswapped, its byte order in
+    # the header.  The reader must reconstruct the original references.
+    buffer = _buffer_from(refs)
+    path = tmp_path_factory.mktemp("io") / "native.trace"
+    write_trace(buffer, path)
+    foreign = {"little": "big", "big": "little"}[sys.byteorder]
+    raw = path.read_bytes().replace(
+        f" {sys.byteorder} ".encode("ascii"), f" {foreign} ".encode("ascii"), 1
+    )
+    addr_col = buffer.columns()[3]
+    swapped = array("q", addr_col)
+    swapped.byteswap()
+    raw = raw.replace(addr_col.tobytes(), swapped.tobytes(), 1)
+    foreign_path = tmp_path_factory.mktemp("io") / "foreign.trace"
+    foreign_path.write_bytes(raw)
+    assert list(read_trace(foreign_path)) == list(buffer)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    refs=st.lists(_ref, min_size=1, max_size=60),
+    cut=st.integers(0, 10**9),
+    data=st.data(),
+)
+def test_property_truncation_always_raises_trace_format_error(
+    tmp_path_factory, refs, cut, data
+):
+    # Any strict prefix of a non-empty trace file is rejected with
+    # TraceFormatError — never a raw EOFError, UnicodeDecodeError or
+    # ValueError leaking from the parser internals.
+    buffer = _buffer_from(refs)
+    path = tmp_path_factory.mktemp("io") / "whole.trace"
+    write_trace(buffer, path)
+    raw = path.read_bytes()
+    cut = cut % len(raw)  # strict prefix: 0 <= cut < len(raw)
+    short = tmp_path_factory.mktemp("io") / "short.trace"
+    short.write_bytes(raw[:cut])
+    with pytest.raises(TraceFormatError):
+        read_trace(short)

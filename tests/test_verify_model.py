@@ -1,0 +1,212 @@
+"""The protocol model checker (repro.verify.model).
+
+Positive direction: every registered protocol's reachable state space is
+clean under the default 2-PE/1-block universe.  Negative direction: two
+bug classes that *pass* (or bypass) the spec's eager validation are
+caught by exhaustive enumeration with a minimal counterexample — a
+silent store in S (validation only restricts silent stores in dirty
+states) and a dirty supplier row without copyback (injected by mutating
+the supplier dict post-construction, as the demo spec does).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.protocol import get_protocol, protocol_names, temporarily_register
+from repro.core.protocol.spec import StoreRule, SupplierRule
+from repro.core.states import CacheState
+from repro.trace.events import Op
+from repro.verify import (
+    CheckResult,
+    ModelCheckOptions,
+    check_protocol,
+)
+from repro.verify.model import broken_demo_spec
+
+
+# ---------------------------------------------------------------------------
+# Clean protocols.
+
+
+@pytest.mark.parametrize("protocol", protocol_names())
+def test_registered_protocols_are_clean(protocol):
+    result = check_protocol(protocol)
+    assert result.clean, result.render()
+    assert result.complete
+    assert result.counterexample is None
+    assert result.states > 1
+    assert result.transitions > result.states
+
+
+def test_three_pe_universe_is_clean():
+    # Three sharers reach states (two remote copies on an invalidation)
+    # that two PEs cannot; keep the op set small so the closure stays
+    # quick.
+    options = ModelCheckOptions(n_pes=3, ops=(Op.R, Op.W, Op.DW, Op.RP))
+    result = check_protocol("pim", options)
+    assert result.clean, result.render()
+    assert result.complete
+
+
+def test_two_block_universe_forces_evictions():
+    # Two blocks in a one-set, one-way cache: every second block access
+    # evicts, covering the victim copy-back paths.
+    options = ModelCheckOptions(
+        n_blocks=2, ops=(Op.R, Op.W, Op.DW), max_states=50_000
+    )
+    result = check_protocol("pim", options)
+    assert result.clean, result.render()
+    assert result.complete
+
+
+def test_max_states_truncation_is_reported():
+    result = check_protocol("pim", ModelCheckOptions(max_states=10))
+    assert result.clean
+    assert not result.complete
+    assert "truncated" in result.render()
+
+
+# ---------------------------------------------------------------------------
+# Broken specs are caught with counterexamples.
+
+
+def test_demo_spec_dirty_loss_counterexample():
+    result = check_protocol(broken_demo_spec())
+    assert not result.clean
+    ce = result.counterexample
+    assert ce is not None
+    assert ce.violation.invariant == "dirty-loss"
+    # Minimal scenario: a write creates the dirty copy, a remote read
+    # consumes it through the broken supplier row.  BFS order guarantees
+    # no shorter sequence exists.
+    assert len(ce.steps) == 2
+    rendered = result.render()
+    assert "counterexample (dirty-loss)" in rendered
+    assert "state after the final step" in rendered
+
+
+def test_demo_spec_does_not_pollute_registry():
+    before = set(protocol_names())
+    check_protocol(broken_demo_spec())
+    assert set(protocol_names()) == before
+    # The real pim spec's (shared-by-identity) tables were not mutated.
+    pim = get_protocol("pim")
+    assert pim.supplier[CacheState.EM].copyback or (
+        pim.supplier[CacheState.EM].next_state
+        in (CacheState.SM, CacheState.EM)
+    )
+
+
+def test_silent_store_in_shared_state_caught():
+    # A silent store hit in S skips the invalidation broadcast.  The
+    # spec validator cannot reject it (S is clean, so no copy-back duty
+    # argument applies), but the checker catches the stale remote copy.
+    base = get_protocol("pim")
+    spec = dataclasses.replace(
+        base,
+        name="pim_silent_s",
+        store={**base.store, CacheState.S: StoreRule(next_state=CacheState.SM)},
+    )
+    result = check_protocol(spec)
+    assert not result.clean
+    assert result.counterexample.violation.invariant in (
+        "data-value", "single-writer",
+    )
+
+
+def test_counterexample_replays_on_spec_object():
+    # check_protocol accepts the spec object directly and reports under
+    # its name.
+    spec = broken_demo_spec(name="pim_broken_again")
+    result = check_protocol(spec)
+    assert result.protocol == "pim_broken_again"
+    assert not result.clean
+
+
+def test_broken_spec_as_dict_round_trips():
+    result = check_protocol(broken_demo_spec())
+    record = result.as_dict()
+    assert record["clean"] is False
+    assert record["counterexample"]["invariant"] == "dirty-loss"
+    assert record["counterexample"]["steps"]
+    assert record["ops"] == [
+        "R", "W", "DW", "ER", "RP", "LR", "UW", "U",
+    ]
+
+
+def test_temporarily_registered_spec_checked_under_its_name():
+    spec = broken_demo_spec(name="pim_supplier_drop")
+    with temporarily_register(spec):
+        result = check_protocol("pim_supplier_drop")
+    assert not result.clean
+    assert "pim_supplier_drop" not in protocol_names()
+
+
+# ---------------------------------------------------------------------------
+# Satellite: the spec validator itself rejects the constructible form of
+# the dirty-loss bug eagerly, at construction time.
+
+
+def test_validation_rejects_dirty_supplier_drop_at_construction():
+    base = get_protocol("pim")
+    with pytest.raises(ValueError, match="without copyback"):
+        dataclasses.replace(
+            base,
+            name="pim_invalid",
+            supplier={
+                **base.supplier,
+                CacheState.EM: SupplierRule(CacheState.S, copyback=False),
+            },
+        )
+
+
+def test_validation_rejects_dirty_sm_supplier_drop():
+    base = get_protocol("pim")
+    with pytest.raises(ValueError, match="without copyback"):
+        dataclasses.replace(
+            base,
+            name="pim_invalid_sm",
+            supplier={
+                **base.supplier,
+                CacheState.SM: SupplierRule(CacheState.S, copyback=False),
+            },
+        )
+
+
+def test_validation_accepts_dirty_supplier_with_copyback():
+    base = get_protocol("pim")
+    spec = dataclasses.replace(
+        base,
+        name="pim_illinois_style",
+        supplier={
+            **base.supplier,
+            CacheState.EM: SupplierRule(CacheState.S, copyback=True),
+            CacheState.SM: SupplierRule(CacheState.S, copyback=True),
+        },
+    )
+    # Not just constructible — actually coherent.
+    result = check_protocol(
+        spec, ModelCheckOptions(ops=(Op.R, Op.W, Op.DW))
+    )
+    assert result.clean, result.render()
+
+
+# ---------------------------------------------------------------------------
+# Options plumbing.
+
+
+def test_options_word_universe():
+    options = ModelCheckOptions(n_blocks=2, block_words=2)
+    words = options.words()
+    assert len(words) == 4
+    assert words[1] - words[0] == 1
+
+
+def test_result_render_mentions_bounds():
+    result = CheckResult(
+        protocol="pim", clean=True, states=7, transitions=9, complete=True
+    )
+    rendered = result.render()
+    assert "pim: clean" in rendered
+    assert "2 PEs" in rendered

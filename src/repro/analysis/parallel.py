@@ -12,6 +12,15 @@ task: the pool initializer loads the file into a module global and each
 task carries only its :class:`~repro.core.config.SimulationConfig`.
 This works under both the ``fork`` and ``spawn`` start methods.
 
+Callers that sweep repeatedly (the benchmark harness, figure scripts
+iterating on a parameter grid) should hold a :class:`SweepPool` open:
+the worker processes — and the per-worker trace load — are paid for
+once at pool construction and amortized over every subsequent
+:meth:`SweepPool.map`.  A bare :func:`run_sweep` call builds and tears
+down a pool internally, which is convenient for one-shot sweeps but
+was mistaken for free by the benchmark: pool startup dominated the
+sweep itself and ``parallel_speedup`` came out below 1.
+
 Results are plain :class:`~repro.core.stats.SystemStats` objects (they
 pickle cleanly) in the same order as the configurations passed in, and
 are bit-identical to a serial :func:`~repro.core.replay.replay_many` —
@@ -53,15 +62,138 @@ def _replay_one(config: SimulationConfig) -> SystemStats:
     return replay(_worker_trace, config)
 
 
+def _warm_task(_index: int) -> int:
+    """No-op pool task: proves a worker is up with its trace loaded."""
+    assert _worker_trace is not None, "worker initializer did not run"
+    return len(_worker_trace)
+
+
 def default_jobs() -> int:
-    """Worker count used when ``jobs`` is not given: one per CPU."""
-    return os.cpu_count() or 1
+    """Worker count used when ``jobs`` is not given: one per *usable* CPU.
+
+    ``os.sched_getaffinity`` sees cgroup/taskset restrictions, so a
+    container pinned to one core gets 1 here even when the host machine
+    has more — ``os.cpu_count`` reports the host and oversubscribes.
+    Platforms without affinity support fall back to ``os.cpu_count``.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+class SweepPool:
+    """A persistent worker pool serving many sweeps over one trace.
+
+    The expensive parts of a parallel sweep — spawning worker
+    processes and loading the trace into each — happen once, at
+    construction, and amortize over every :meth:`map` call::
+
+        with SweepPool(trace, jobs=4) as pool:
+            pool.warm()                 # spawn + load now, not mid-timing
+            for grid in parameter_grids:
+                results = pool.map(grid)
+
+    ``jobs<=1`` degrades to a poolless serial mode (``kind ==
+    "serial"``): the trace is loaded in-process once and :meth:`map`
+    replays directly, so callers need no special casing on single-CPU
+    hosts.  Results always come back in input order and are
+    bit-identical to serial replay (replay is deterministic given
+    (trace, config)).
+
+    The pool owns its temp trace file (when constructed from an
+    in-memory buffer) and its workers; use it as a context manager or
+    call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        trace: Union[TraceBuffer, str, Path],
+        jobs: Optional[int] = None,
+    ):
+        if jobs is None:
+            jobs = default_jobs()
+        self.jobs = max(1, jobs)
+        self._tmp_path: Optional[str] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._trace: Optional[TraceBuffer] = None
+        if self.jobs <= 1:
+            self._trace = (
+                read_trace(trace) if isinstance(trace, (str, Path)) else trace
+            )
+            return
+        if isinstance(trace, (str, Path)):
+            trace_path = str(trace)
+        else:
+            fd, self._tmp_path = tempfile.mkstemp(
+                suffix=".trace", prefix="repro-sweep-"
+            )
+            os.close(fd)
+            write_trace(trace, self._tmp_path)
+            trace_path = self._tmp_path
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_init_worker,
+            initargs=(trace_path,),
+        )
+
+    @property
+    def kind(self) -> str:
+        """``"persistent"`` when backed by worker processes, else
+        ``"serial"`` (the ``jobs<=1`` in-process mode)."""
+        return "persistent" if self._pool is not None else "serial"
+
+    def warm(self) -> None:
+        """Spawn every worker and block until each has its trace loaded.
+
+        The executor spawns workers lazily, one per submitted task, so
+        without this the first :meth:`map` pays the startup cost.
+        Submitting ``jobs`` tasks forces the full spawn (each submit
+        grows the pool while it is below ``max_workers``); waiting on
+        them proves every initializer ran.  Serial pools are warm by
+        construction.
+        """
+        if self._pool is not None:
+            futures = [
+                self._pool.submit(_warm_task, index)
+                for index in range(self.jobs)
+            ]
+            for future in futures:
+                future.result()
+
+    def map(self, configs: Sequence[SimulationConfig]) -> List[SystemStats]:
+        """Replay the pool's trace against every config, in input order."""
+        configs = list(configs)
+        if self._pool is not None:
+            return list(self._pool.map(_replay_one, configs))
+        assert self._trace is not None
+        return [replay(self._trace, config) for config in configs]
+
+    def close(self) -> None:
+        """Shut the workers down and delete the pool's temp trace file."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._tmp_path is not None:
+            try:
+                os.unlink(self._tmp_path)
+            except OSError:
+                pass
+            self._tmp_path = None
+        self._trace = None
+
+    def __enter__(self) -> "SweepPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def run_sweep(
     trace: Union[TraceBuffer, str, Path],
     configs: Sequence[SimulationConfig],
     jobs: Optional[int] = None,
+    pool: Optional[SweepPool] = None,
 ) -> List[SystemStats]:
     """Replay *trace* against every config, farming points out to *jobs*
     worker processes.
@@ -71,11 +203,20 @@ def run_sweep(
     file (e.g. straight out of the :class:`~repro.analysis.runner.
     Workloads` disk cache, skipping the extra write).
 
-    ``jobs=None`` uses one worker per CPU; ``jobs<=1`` (or a single
-    config) runs serially in-process with no pool at all.  Results come
-    back in input order and match a serial run bit for bit.
+    ``jobs=None`` uses one worker per usable CPU; ``jobs<=1`` (or a
+    single config) runs serially in-process with no pool at all.
+    Results come back in input order and match a serial run bit for
+    bit.
+
+    Passing an open :class:`SweepPool` as *pool* serves the sweep from
+    its already-warm workers (*trace* and *jobs* are ignored — the pool
+    fixed both at construction).  Without one, a pool is built and torn
+    down for this call alone; callers sweeping repeatedly should hold
+    their own.
     """
     configs = list(configs)
+    if pool is not None:
+        return pool.map(configs)
     if jobs is None:
         jobs = default_jobs()
     jobs = min(jobs, len(configs)) if configs else 1
@@ -84,25 +225,8 @@ def run_sweep(
         if isinstance(trace, (str, Path)):
             trace = read_trace(trace)
         return [replay(trace, config) for config in configs]
-
-    tmp_path: Optional[str] = None
-    if isinstance(trace, (str, Path)):
-        trace_path = str(trace)
-    else:
-        fd, tmp_path = tempfile.mkstemp(suffix=".trace", prefix="repro-sweep-")
-        os.close(fd)
-        write_trace(trace, tmp_path)
-        trace_path = tmp_path
-    try:
-        with ProcessPoolExecutor(
-            max_workers=jobs,
-            initializer=_init_worker,
-            initargs=(trace_path,),
-        ) as pool:
-            return list(pool.map(_replay_one, configs))
-    finally:
-        if tmp_path is not None:
-            os.unlink(tmp_path)
+    with SweepPool(trace, jobs=jobs) as sweep_pool:
+        return sweep_pool.map(configs)
 
 
 def run_sweep_report(
@@ -117,10 +241,14 @@ def run_sweep_report(
     be matched back to its configuration from the report alone) and the
     report as a whole carries a ``repro.obs/manifest/v1`` manifest
     keyed on the *first* configuration — the sweep's baseline.
+
+    An empty config list yields a well-formed empty report: zero
+    points, a schema-valid manifest with a null config (there is no
+    baseline to key on), and a real wall time.
     """
     configs = list(configs)
     start = time.perf_counter()
-    results = run_sweep(trace, configs, jobs=jobs)
+    results = run_sweep(trace, configs, jobs=jobs) if configs else []
     wall = time.perf_counter() - start
     manifest = build_manifest(
         config=configs[0] if configs else None,

@@ -317,6 +317,19 @@ def cmd_bench(args) -> int:
                   f"{overhead.get('min_ratio')} < {args.assert_overhead}",
                   file=sys.stderr)
             return 1
+    if args.assert_sweep:
+        sweep = report.get("sweep") or {}
+        speedup = sweep.get("parallel_speedup")
+        if speedup == "skipped":
+            # Explicitly recorded as untimeable (single usable CPU);
+            # identity was still checked, so there is nothing to fail.
+            print("note: sweep speedup assertion skipped "
+                  f"({sweep.get('skip_reason', 'single usable CPU')})")
+        elif not isinstance(speedup, (int, float)) or speedup < 1.0:
+            print(f"error: sweep parallel_speedup {speedup} < 1.0 — the "
+                  f"persistent pool must not lose to serial on a "
+                  f"multi-CPU host", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -686,6 +699,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="fail (exit 1) if any workload's refs/sec "
                                    "drops below RATIO (default 0.95) of the "
                                    "recorded report at --output")
+    bench_parser.add_argument("--assert-sweep", action="store_true",
+                              help="fail (exit 1) if the persistent-pool "
+                                   "sweep is slower than serial "
+                                   "(parallel_speedup < 1.0) on a "
+                                   "multi-CPU host")
     bench_parser.add_argument("--clusters", type=int, default=2,
                               help="cluster count for the clustered-replay "
                                    "section (default 2)")

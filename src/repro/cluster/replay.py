@@ -115,15 +115,19 @@ def replay_shard(
     config: SimulationConfig,
     pes_per_cluster: int,
     cluster_index: int,
+    kernel: Optional[str] = None,
 ) -> "tuple[SystemStats, NetworkStats]":
     """Replay one cluster's shard through the fast kernel.
 
     Returns ``(stats, network_stats)`` — both picklable, so this is
     also the unit of work :func:`repro.analysis.parallel.run_clustered`
-    ships to pool workers.
+    ships to pool workers.  *kernel* is forwarded to
+    :func:`repro.core.replay.replay` (``None`` is the production
+    ``"auto"`` selection; tests pin ``"interpreted"`` vs
+    ``"generated"`` to hold the two loops identical on shards too).
     """
     system = ClusterCacheSystem(config, pes_per_cluster, cluster_index)
-    stats = replay(shard, system=system)
+    stats = replay(shard, system=system, kernel=kernel)
     return stats, system.network.stats
 
 
@@ -131,6 +135,7 @@ def replay_clustered(
     buffer: TraceBuffer,
     config: Optional[SimulationConfig] = None,
     n_pes: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> ClusterStats:
     """Serial per-cluster fast-kernel replay with deterministic merge."""
     if config is None:
@@ -143,7 +148,7 @@ def replay_clustered(
     networks = []
     for cluster_index, shard in enumerate(shards):
         stats, network = replay_shard(
-            shard, config, pes_per_cluster, cluster_index
+            shard, config, pes_per_cluster, cluster_index, kernel=kernel
         )
         per_cluster.append(stats)
         networks.append(network)

@@ -53,6 +53,9 @@ class Cache:
         "_set_mask",
         "_set_shift",
         "_tick",
+        "_mirror",
+        "_mirror_bases",
+        "_mirror_remap",
     )
 
     def __init__(self, config: CacheConfig, pe: int, track_data: bool = False):
@@ -64,6 +67,29 @@ class Cache:
         self._set_mask = config.n_sets - 1
         self._set_shift = config.n_sets.bit_length() - 1
         self._tick = 0
+        # While a generated replay kernel runs, ``_mirror`` points at a
+        # flat cross-PE ``(kind << tag_shift | pe << pe_shift | block)
+        # -> line`` table (a dense list, or a dict for huge address
+        # spaces), aliased under every fast-kind tag so the kernel
+        # probes packed keys unmasked.  Every residency change below is
+        # mirrored under each base in ``_mirror_bases`` via
+        # :meth:`_mirror_set`; ``_mirror_remap`` (optional) maps real
+        # block numbers to the kernel's dense block ids.  ``None`` (the
+        # resting state) keeps the bookkeeping off all other paths.
+        self._mirror = None
+        self._mirror_bases: Tuple[int, ...] = ()
+        self._mirror_remap: Optional[Dict[int, int]] = None
+
+    def _mirror_set(self, block: int, line: Optional[CacheLine]) -> None:
+        """Mirror a residency change (``line`` or ``None`` for a drop)
+        under every alias base.  A block outside the kernel's remap can
+        never be probed by the running trace, so it is skipped."""
+        remap = self._mirror_remap
+        index = block if remap is None else remap.get(block)
+        if index is not None:
+            mirror = self._mirror
+            for base in self._mirror_bases:
+                mirror[base | index] = line
 
     def lookup(self, block: int) -> Optional[CacheLine]:
         """Return the valid line holding *block*, touching LRU, else None."""
@@ -114,11 +140,15 @@ class Cache:
             victim_line = bucket.pop(victim_tag)
             victim_block = (victim_tag << self._set_shift) | index
             del self._lines[victim_block]
+            if self._mirror is not None:
+                self._mirror_set(victim_block, None)
             victim = (victim_block, victim_line)
         self._tick += 1
         line = CacheLine(tag, state, area, self._tick, data)
         bucket[tag] = line
         self._lines[block] = line
+        if self._mirror is not None:
+            self._mirror_set(block, line)
         return victim
 
     def remove(self, block: int) -> Optional[CacheLine]:
@@ -126,6 +156,8 @@ class Cache:
         line = self._lines.pop(block, None)
         if line is not None:
             del self._sets[block & self._set_mask][block >> self._set_shift]
+            if self._mirror is not None:
+                self._mirror_set(block, None)
         return line
 
     def block_of(self, line_index: int, tag: int) -> int:
@@ -144,6 +176,9 @@ class Cache:
 
     def flush(self) -> None:
         """Invalidate every line (used around garbage collection)."""
+        if self._mirror is not None:
+            for block in self._lines:
+                self._mirror_set(block, None)
         for bucket in self._sets:
             bucket.clear()
         self._lines.clear()

@@ -47,13 +47,24 @@ _REGISTRY: Dict[str, ProtocolSpec] = {}
 
 
 def register(spec: ProtocolSpec, replace: bool = False) -> ProtocolSpec:
-    """Register *spec* under its name; returns it for chaining."""
+    """Register *spec* under its name; returns it for chaining.
+
+    Registration also compiles the spec's generated replay kernel
+    (:mod:`repro.core.protocol.codegen`), so a bad spec fails loudly
+    here rather than at first replay.
+    """
     if spec.name in _REGISTRY and not replace:
         raise ValueError(
             f"protocol {spec.name!r} is already registered "
             "(pass replace=True to override)"
         )
     _REGISTRY[spec.name] = spec
+    # Imported here, not at module top: codegen needs only states and
+    # trace events, but importing it before the registry finishes its
+    # built-in registrations would tangle the package import order.
+    from repro.core.protocol import codegen
+
+    codegen.get_kernel(spec)
     return spec
 
 
@@ -66,8 +77,11 @@ def temporarily_register(spec: ProtocolSpec) -> Iterator[ProtocolSpec]:
     one-off or deliberately broken specs without polluting the global
     registry.
     """
+    from repro.core.protocol import codegen
+
     previous = _REGISTRY.get(spec.name)
     _REGISTRY[spec.name] = spec
+    codegen.get_kernel(spec)
     try:
         yield spec
     finally:

@@ -18,10 +18,20 @@ from collections import Counter
 from typing import Iterable, Optional
 
 from repro.core.config import SimulationConfig
+from repro.core.protocol import codegen
 from repro.core.stats import SystemStats
 from repro.core.system import BLOCKED, N_AREAS, N_OPS, PIMCacheSystem
 from repro.trace.buffer import TraceBuffer
 from repro.trace.events import AREA_NAMES, OP_NAMES, Op
+
+try:  # pragma: no cover - numpy is an optional dependency
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less hosts
+    _np = None
+
+#: Replay kernel choices accepted by :func:`replay` (and the
+#: ``REPRO_REPLAY_KERNEL`` environment override).
+KERNELS = ("auto", "generated", "interpreted")
 
 #: Default check period (in references) for ``REPRO_CHECK_INVARIANTS=1``.
 DEFAULT_INVARIANT_INTERVAL = 4096
@@ -172,6 +182,7 @@ def replay(
     n_pes: Optional[int] = None,
     check_invariants_every: Optional[int] = None,
     system: Optional[PIMCacheSystem] = None,
+    kernel: Optional[str] = None,
 ) -> SystemStats:
     """Replay *buffer* against a fresh cache system and return its stats.
 
@@ -180,16 +191,32 @@ def replay(
     to the checked per-access loop and validates the coherence
     invariants every N references.
 
+    *kernel* picks the replay loop (``REPRO_REPLAY_KERNEL`` is the
+    environment-level equivalent; the explicit argument wins):
+
+    * ``"auto"`` (default) — the protocol's generated kernel
+      (:mod:`repro.core.protocol.codegen`) when it can run, else the
+      interpreted dispatch-table loop below;
+    * ``"generated"`` — as auto, but raises if numpy is missing
+      instead of silently interpreting (a kernel can still decline a
+      trace outside its envelope — huge addresses, >255 PEs, data
+      tracking — and fall back);
+    * ``"interpreted"`` — always the dispatch-table loop; this is the
+      differential oracle's reference path.
+
+    The checked per-access loop ignores *kernel*: invariant checking
+    needs per-reference control.
+
     *system* replays into a caller-built system instead of a fresh
     ``PIMCacheSystem(config, n_pes)`` — the hook the clustered fast
     path uses to run per-cluster shards through this same inlined
     kernel (a :class:`~repro.cluster.system.ClusterCacheSystem` keeps
-    its network-charging handler wrappers; the kernel only bypasses
-    them for bus-free cache hits, which never cross the network).  A
-    provided system overrides *config*/*n_pes*; blocked references
-    then raise without the trace-index second pass (the caller owns
-    system construction, so the diagnostic replay cannot be rebuilt
-    here).
+    its network-charging handler wrappers; both fast kernels only
+    bypass them for bus-free cache hits, which never cross the
+    network).  A provided system overrides *config*/*n_pes*; blocked
+    references then raise without the trace-index second pass (the
+    caller owns system construction, so the diagnostic replay cannot
+    be rebuilt here).
     """
     caller_system = system
     if caller_system is not None:
@@ -209,10 +236,30 @@ def replay(
             buffer,
             check_invariants_every,
         )
+    if kernel is None:
+        kernel = os.environ.get("REPRO_REPLAY_KERNEL") or "auto"
+    if kernel not in KERNELS:
+        raise ValueError(
+            f"unknown replay kernel {kernel!r}; choose from {KERNELS}"
+        )
     system = (
         caller_system if caller_system is not None
         else PIMCacheSystem(config, pes)
     )
+    if kernel != "interpreted":
+        if _np is not None:
+            # The generated kernel validates op/area codes during its
+            # (cached) numpy preprocessing, raising the same ValueError
+            # as _validate_codes; no separate Python scan needed.
+            generated = codegen.get_kernel(system.protocol_spec)
+            stats = generated(system, buffer, _np)
+            if stats is not None:
+                return stats
+        elif kernel == "generated":
+            raise RuntimeError(
+                "kernel='generated' requires numpy, which is not installed"
+            )
+    _validate_codes(buffer)
     # Hot loop: dispatch straight off the system's handler table instead
     # of going through :meth:`PIMCacheSystem.access`, folding the
     # per-reference bookkeeping into the loop.  Two access() duties are
@@ -230,7 +277,6 @@ def replay(
     waiting = system._waiting
     shift = system._block_shift
     pe_col, op_col, area_col, addr_col, flags_col = buffer.columns()
-    _validate_codes(buffer)
     caches = system.caches
     if caches and not system.track_data:
         # The bus-free hit paths carry the bulk of every workload, so

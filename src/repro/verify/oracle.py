@@ -10,10 +10,11 @@ standards:
   predicts, on the per-access system (``track_data=True``) and, for
   multi-cluster configurations, on the interleaved clustered system
   with one flat memory per cluster (clusters share nothing);
-* **counters** — the inlined fast kernel, the checked per-access loop,
-  the sharded cluster replay and the interleaved cluster replay must
-  produce bit-identical statistics (which also pins down that
-  ``track_data`` is counter-neutral).
+* **counters** — the interpreted fast kernel, the generated
+  (:mod:`repro.core.protocol.codegen`) kernel where available, the
+  checked per-access loop, the sharded cluster replay and the
+  interleaved cluster replay must produce bit-identical statistics
+  (which also pins down that ``track_data`` is counter-neutral).
 
 Any mismatch raises :class:`Divergence`; the fuzz driver then shrinks
 the trace with :func:`~repro.verify.shrink.shrink_trace` until the
@@ -31,7 +32,7 @@ from repro.core.config import (
     OptimizationConfig,
     SimulationConfig,
 )
-from repro.core.protocol import protocol_names
+from repro.core.protocol import codegen, protocol_names
 from repro.core.replay import ReplayBlockedError, replay, replay_access_driven
 from repro.core.system import PIMCacheSystem
 from repro.trace.buffer import TraceBuffer
@@ -121,8 +122,9 @@ def run_case(
     """Run one trace through every execution path; raise on divergence.
 
     Paths exercised: (1) per-access ``PIMCacheSystem`` with data
-    tracking and the flat-memory value check, (2) the inlined fast
-    kernel, (3) the checked per-access loop with periodic
+    tracking and the flat-memory value check, (2) the interpreted fast
+    kernel, plus the generated (``codegen``) kernel when numpy is
+    available, (3) the checked per-access loop with periodic
     ``check_invariants()``, and (4) for each cluster count the sharded
     fast-kernel replay against the interleaved clustered replay (with a
     per-cluster value pass for multi-cluster runs).  Returns the number
@@ -143,8 +145,10 @@ def run_case(
     flat = flat_stats.as_dict()
     refs += len(trace)
 
-    # (2) Fast kernel, no data tracking: counters must be identical.
-    fast = replay(trace, base, n_pes=n_pes).as_dict()
+    # (2) Interpreted fast kernel, no data tracking: counters must be
+    # identical.  Pinned explicitly — "auto" would pick the generated
+    # kernel and silently stop covering the interpreted path.
+    fast = replay(trace, base, n_pes=n_pes, kernel="interpreted").as_dict()
     refs += len(trace)
     if fast != flat:
         raise Divergence(
@@ -152,6 +156,20 @@ def run_case(
             "fast kernel disagrees with the per-access system: "
             + _dict_diff("kernel", fast, "access", flat),
         )
+
+    # (2b) Generated kernel: the compiled straight-line loop must match
+    # the same reference bit for bit.
+    if codegen.available():
+        generated = replay(
+            trace, base, n_pes=n_pes, kernel="generated"
+        ).as_dict()
+        refs += len(trace)
+        if generated != flat:
+            raise Divergence(
+                "generated-stats",
+                "generated kernel disagrees with the per-access system: "
+                + _dict_diff("generated", generated, "access", flat),
+            )
 
     # (3) Checked per-access loop with the structural invariant battery.
     try:

@@ -1,8 +1,15 @@
 """Parallel sweep executor and trace disk cache tests."""
 
+import os
+
 import pytest
 
-from repro.analysis.parallel import merge_stats, run_sweep
+from repro.analysis.parallel import (
+    SweepPool,
+    default_jobs,
+    merge_stats,
+    run_sweep,
+)
 from repro.analysis.runner import Workloads, trace_cache_dir
 from repro.core.config import CacheConfig, SimulationConfig
 from repro.core.replay import replay
@@ -56,6 +63,73 @@ class TestRunSweep:
     def test_empty_configs(self):
         trace = generate_random_trace(100, n_pes=2, seed=5)
         assert run_sweep(trace, [], jobs=4) == []
+
+
+class TestDefaultJobs:
+    def test_respects_cpu_affinity(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1, 2})
+        assert default_jobs() == 3
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 5)
+        assert default_jobs() == 5
+
+    def test_never_returns_zero(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert default_jobs() == 1
+
+
+class TestSweepPool:
+    def test_serial_mode_below_two_jobs(self):
+        trace = generate_random_trace(400, n_pes=2, seed=3)
+        with SweepPool(trace, jobs=1) as pool:
+            assert pool.kind == "serial"
+            pool.warm()  # no-op, must not raise
+            (stats,) = pool.map([SimulationConfig()])
+        _assert_identical(stats, replay(trace, SimulationConfig()))
+
+    def test_persistent_pool_matches_serial(self):
+        trace = generate_random_trace(1500, n_pes=2, seed=4)
+        configs = _sweep_points()
+        with SweepPool(trace, jobs=2) as pool:
+            assert pool.kind == "persistent"
+            pool.warm()
+            first = pool.map(configs)
+            second = pool.map(configs)  # the pool survives between sweeps
+        serial = run_sweep(trace, configs, jobs=1)
+        for left, mid, right in zip(first, second, serial):
+            _assert_identical(left, right)
+            _assert_identical(mid, right)
+
+    def test_owns_and_cleans_its_temp_trace(self):
+        trace = generate_random_trace(300, n_pes=2, seed=5)
+        pool = SweepPool(trace, jobs=2)
+        tmp = pool._tmp_path
+        assert tmp is not None and os.path.exists(tmp)
+        pool.close()
+        assert not os.path.exists(tmp)
+        assert pool._tmp_path is None
+
+    def test_reuses_trace_file_without_copying(self, tmp_path):
+        trace = generate_random_trace(600, n_pes=2, seed=6)
+        path = tmp_path / "pool.trace"
+        write_trace(trace, path)
+        with SweepPool(path, jobs=2) as pool:
+            assert pool._tmp_path is None  # no temp copy for path input
+            (stats,) = pool.map([SimulationConfig()])
+        _assert_identical(stats, replay(trace, SimulationConfig()))
+
+    def test_run_sweep_serves_from_open_pool(self):
+        trace = generate_random_trace(800, n_pes=2, seed=7)
+        configs = _sweep_points()[:2]
+        with SweepPool(trace, jobs=2) as pool:
+            pool.warm()
+            pooled = run_sweep(trace, configs, pool=pool)
+        serial = run_sweep(trace, configs, jobs=1)
+        for left, right in zip(pooled, serial):
+            _assert_identical(left, right)
 
 
 class TestMergeStats:
@@ -143,6 +217,70 @@ class TestRunSweepReport:
         report = run_sweep_report(trace, configs, jobs=1)
         for config, point in zip(configs, report["points"]):
             assert point["stats"] == replay(trace, config).as_dict()
+
+    def test_empty_sweep_yields_well_formed_report(self):
+        # Regression: an empty config list used to crash on configs[0]
+        # when building the manifest.  It must produce a schema-valid
+        # report with zero points instead.
+        from repro.analysis.parallel import run_sweep_report
+        from repro.obs.schema import validate_manifest
+
+        trace = generate_random_trace(200, n_pes=2, seed=8)
+        report = run_sweep_report(trace, [], jobs=4)
+        validate_manifest(report["manifest"])
+        assert report["points"] == []
+        assert report["manifest"]["extra"]["n_points"] == 0
+        assert report["manifest"]["config"] is None
+        assert report["wall_seconds"] >= 0
+
+
+class TestBenchSections:
+    def test_sweep_section_skips_on_single_cpu(self, monkeypatch):
+        import repro.analysis.bench as bench
+
+        monkeypatch.setattr(bench, "default_jobs", lambda: 1)
+        trace = generate_random_trace(600, n_pes=2, seed=9)
+        section = bench.bench_sweep(
+            trace, _sweep_points()[:2], jobs=4, repeats=1
+        )
+        assert section["pool"] == "persistent"
+        assert section["jobs_requested"] == 4
+        assert section["jobs"] == 1
+        assert section["host_cpus_usable"] == 1
+        assert section["parallel_speedup"] == "skipped"
+        assert section["wall_seconds_parallel"] is None
+        assert "skip_reason" in section
+        # The pooled path's identity with serial is still checked.
+        assert section["results_identical"] is True
+
+    def test_sweep_section_records_job_ladder(self, monkeypatch):
+        import repro.analysis.bench as bench
+
+        monkeypatch.setattr(bench, "default_jobs", lambda: 2)
+        trace = generate_random_trace(600, n_pes=2, seed=10)
+        section = bench.bench_sweep(
+            trace, _sweep_points()[:2], jobs=8, repeats=1
+        )
+        assert section["jobs"] == 2  # clamped by (mocked) usable CPUs
+        assert set(section["wall_seconds_by_jobs"]) == {"2"}
+        assert isinstance(section["parallel_speedup"], float)
+        assert section["results_identical"] is True
+
+    def test_kernels_section_shape(self):
+        import repro.analysis.bench as bench
+        from repro.core.protocol import codegen
+
+        trace = generate_random_trace(2000, n_pes=2, seed=11)
+        section = bench.bench_kernels(trace, repeats=1)
+        assert section["refs"] == len(trace)
+        assert section["interpreted_refs_per_sec"] > 0
+        if codegen.available():
+            assert section["generated_refs_per_sec"] > 0
+            assert section["results_identical"] is True
+            assert section["speedup"] > 0
+        else:
+            assert section["generated_refs_per_sec"] == "skipped"
+            assert "skip_reason" in section
 
 
 class TestNoSinkOverhead:

@@ -38,6 +38,26 @@ def test_interval_explicit_period(monkeypatch):
     assert invariant_check_interval() == DEFAULT_INVARIANT_INTERVAL
 
 
+@pytest.mark.parametrize(
+    "raw, expected",
+    [
+        (" 8 ", 8),  # surrounding whitespace is stripped
+        ("\t500\n", 500),
+        (" OFF ", None),
+        (" -7", 1),  # negative clamps to 1 even with whitespace
+        ("-0", 1),  # not the literal "0": parses to 0, clamps to 1
+        ("  ", None),  # all-whitespace strips to the empty string
+        (" not a number ", DEFAULT_INVARIANT_INTERVAL),
+        ("12.5", DEFAULT_INVARIANT_INTERVAL),  # floats are garbage too
+        ("1e3", DEFAULT_INVARIANT_INTERVAL),
+        ("0x10", DEFAULT_INVARIANT_INTERVAL),
+    ],
+)
+def test_interval_edge_cases(monkeypatch, raw, expected):
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", raw)
+    assert invariant_check_interval() == expected
+
+
 def test_checked_replay_matches_fast_kernel():
     trace = generate_random_trace(2000, n_pes=4, seed=21)
     config = SimulationConfig()

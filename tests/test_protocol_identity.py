@@ -27,7 +27,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.config import CacheConfig, OptimizationConfig, SimulationConfig
-from repro.core.protocol import protocol_names
+from repro.core.protocol import codegen, protocol_names
 from repro.core.replay import replay
 from repro.obs.windows import windowed_replay
 from repro.trace.synthetic import (
@@ -44,6 +44,18 @@ GOLDEN_PROTOCOLS = ("pim", "illinois", "write_through", "write_update")
 
 #: Config variants, mirroring tests/golden/generate_goldens.py exactly.
 CONFIG_NAMES = ("base", "no_opt", "small")
+
+#: Both replay kernels must hit the goldens; the generated one only
+#: exists where numpy does (CI's no-numpy tests job skips it).
+KERNEL_PARAMS = (
+    "interpreted",
+    pytest.param(
+        "generated",
+        marks=pytest.mark.skipif(
+            not codegen.available(), reason="generated kernels need numpy"
+        ),
+    ),
+)
 
 
 def _config(protocol: str, name: str) -> SimulationConfig:
@@ -69,14 +81,17 @@ def golden_traces():
     }
 
 
+@pytest.mark.parametrize("kernel", KERNEL_PARAMS)
 @pytest.mark.parametrize("config_name", CONFIG_NAMES)
 @pytest.mark.parametrize("trace_name", ("random", "aurora"))
 @pytest.mark.parametrize("protocol", GOLDEN_PROTOCOLS)
 def test_fast_kernel_matches_pre_refactor_goldens(
-    golden_traces, protocol, trace_name, config_name
+    golden_traces, protocol, trace_name, config_name, kernel
 ):
     buffer = golden_traces[trace_name]
-    stats = replay(buffer, _config(protocol, config_name), n_pes=4)
+    stats = replay(
+        buffer, _config(protocol, config_name), n_pes=4, kernel=kernel
+    )
     golden = GOLDENS[f"{trace_name}/{protocol}/{config_name}"]
     assert stats.as_dict() == golden
 
@@ -91,12 +106,13 @@ def test_system_path_matches_pre_refactor_goldens(golden_traces, protocol):
     assert stats.as_dict() == GOLDENS[f"random/{protocol}/base"]
 
 
+@pytest.mark.parametrize("kernel", KERNEL_PARAMS)
 @pytest.mark.parametrize("protocol", protocol_names())
-def test_fast_kernel_matches_system_path(golden_traces, protocol):
+def test_fast_kernel_matches_system_path(golden_traces, protocol, kernel):
     """Every registered protocol: both replay paths, identical counters."""
     buffer = golden_traces["random"]
     config = SimulationConfig(protocol=protocol)
-    fast = replay(buffer, config, n_pes=4)
+    fast = replay(buffer, config, n_pes=4, kernel=kernel)
     full, _ = windowed_replay(buffer, config, n_pes=4)
     assert fast.as_dict() == full.as_dict()
 
@@ -109,11 +125,14 @@ def test_random_traces_counter_identical_across_paths(protocol, seed):
     under every registered protocol, with invariants checked."""
     buffer = generate_random_trace(1_200, n_pes=3, seed=seed)
     config = SimulationConfig(protocol=protocol)
-    fast = replay(buffer, config, n_pes=3)
+    fast = replay(buffer, config, n_pes=3, kernel="interpreted")
     full, _ = windowed_replay(
         buffer, config, n_pes=3, check_invariants_every=400
     )
     assert fast.as_dict() == full.as_dict()
+    if codegen.available():
+        generated = replay(buffer, config, n_pes=3, kernel="generated")
+        assert generated.as_dict() == fast.as_dict()
 
 
 @pytest.mark.parametrize("protocol", protocol_names())

@@ -93,20 +93,28 @@ def test_contract_trace_never_rereads_purged_blocks():
 # run_case: all paths agree on a healthy protocol.
 
 
+def _flat_paths() -> int:
+    """Value pass + interpreted kernel + checked replay, plus the
+    generated kernel on hosts that can run it."""
+    from repro.core.protocol import codegen
+
+    return 3 + (1 if codegen.available() else 0)
+
+
 def test_run_case_counts_every_path():
     trace = generate_contract_trace(600, n_pes=4, seed=1)
     config = SimulationConfig()
     refs = run_case(trace, config, n_pes=4, cluster_counts=(1, 2))
-    # Paths: value pass, fast kernel, checked replay (3x), K=1 sharded +
-    # interleaved (2x), K=2 sharded + interleaved + value pass (3x).
-    assert refs == 8 * len(trace)
+    # Paths: the flat paths, K=1 sharded + interleaved (2x), K=2
+    # sharded + interleaved + value pass (3x).
+    assert refs == (_flat_paths() + 5) * len(trace)
 
 
 def test_run_case_skips_indivisible_cluster_counts():
     trace = generate_contract_trace(300, n_pes=4, seed=2)
     refs = run_case(trace, SimulationConfig(), n_pes=4, cluster_counts=(3,))
-    # 4 PEs don't shard into 3 clusters: only the three flat paths run.
-    assert refs == 3 * len(trace)
+    # 4 PEs don't shard into 3 clusters: only the flat paths run.
+    assert refs == _flat_paths() * len(trace)
 
 
 def test_divergence_message_carries_kind_and_index():

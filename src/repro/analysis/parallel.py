@@ -41,8 +41,15 @@ from repro.cluster.system import ClusterStats
 from repro.core.config import SimulationConfig
 from repro.core.replay import replay
 from repro.core.stats import SystemStats
+from repro.core.system import PIMCacheSystem
 from repro.obs.log import get_logger
 from repro.obs.manifest import build_manifest, config_fingerprint
+from repro.obs.telemetry import (
+    DEFAULT_CHUNK_REFS,
+    DEFAULT_INTERVAL_SECONDS,
+    SweepTelemetry,
+    heartbeat,
+)
 from repro.trace.buffer import TraceBuffer
 from repro.trace.io import read_trace, write_trace
 
@@ -51,15 +58,110 @@ logger = get_logger("analysis.parallel")
 #: Trace loaded once per worker process by :func:`_init_worker`.
 _worker_trace: Optional[TraceBuffer] = None
 
+#: Heartbeat queue handed to workers by :func:`_init_worker` (None when
+#: the sweep runs without telemetry — the zero-overhead default).
+_worker_queue = None
+_worker_chunk: int = DEFAULT_CHUNK_REFS
+_worker_interval: float = DEFAULT_INTERVAL_SECONDS
+_worker_points_done: int = 0
 
-def _init_worker(trace_path: str) -> None:
-    global _worker_trace
+
+def _init_worker(
+    trace_path: str,
+    queue=None,
+    chunk_refs: int = DEFAULT_CHUNK_REFS,
+    interval_seconds: float = DEFAULT_INTERVAL_SECONDS,
+) -> None:
+    global _worker_trace, _worker_queue, _worker_chunk, _worker_interval
     _worker_trace = read_trace(trace_path)
+    _worker_queue = queue
+    _worker_chunk = chunk_refs
+    _worker_interval = interval_seconds
 
 
 def _replay_one(config: SimulationConfig) -> SystemStats:
     assert _worker_trace is not None, "worker initializer did not run"
     return replay(_worker_trace, config)
+
+
+def _put_heartbeat(record: dict) -> None:
+    """Ship one heartbeat; telemetry loss must never kill a sweep."""
+    queue = _worker_queue
+    if queue is None:
+        return
+    try:
+        queue.put(record)
+    except (OSError, EOFError, BrokenPipeError):  # collector went away
+        pass
+
+
+def _replay_point(
+    trace: TraceBuffer, config: SimulationConfig, point: int
+) -> SystemStats:
+    """Replay one sweep point in telemetry-sized chunks.
+
+    Identical counters to a single :func:`~repro.core.replay.replay`
+    call — every deferred kernel fold settles per call, and the system
+    carries all state across segments (the same mechanism as the
+    windowed kernel tier, which the tests assert).  Between chunks the
+    worker emits a heartbeat when :data:`_worker_interval` has elapsed,
+    plus a final ``done`` record when the point completes.
+    """
+    global _worker_points_done
+    if _worker_queue is None:
+        return replay(trace, config)
+    worker = os.getpid()
+    system = PIMCacheSystem(config, trace.n_pes)
+    stats = system.stats
+    total = len(trace)
+    seq = 0
+    mark_time = time.perf_counter()
+    mark_done = 0
+    mark_refs = 0
+    mark_hits = 0
+    done = 0
+    for start in range(0, total, _worker_chunk):
+        done = min(start + _worker_chunk, total)
+        replay(trace.slice(start, done), system=system)
+        now = time.perf_counter()
+        if now - mark_time < _worker_interval and done < total:
+            continue
+        refs_now = sum(sum(row) for row in stats.refs)
+        hits_now = sum(sum(row) for row in stats.hits)
+        delta_refs = refs_now - mark_refs
+        delta_hits = hits_now - mark_hits
+        _put_heartbeat(
+            heartbeat(
+                worker=worker,
+                seq=seq,
+                point=point,
+                points_done=_worker_points_done,
+                refs_done=done,
+                refs_total=total,
+                refs_per_sec=(done - mark_done) / max(now - mark_time, 1e-9),
+                miss_ratio=(
+                    (delta_refs - delta_hits) / delta_refs if delta_refs else 0.0
+                ),
+                done=done >= total,
+            )
+        )
+        seq += 1
+        mark_time, mark_done = now, done
+        mark_refs, mark_hits = refs_now, hits_now
+    if total == 0:
+        _put_heartbeat(
+            heartbeat(worker, 0, point, _worker_points_done, 0, 0, 0.0, 0.0,
+                      done=True)
+        )
+    _worker_points_done += 1
+    return stats
+
+
+def _replay_one_indexed(task) -> SystemStats:
+    """Pool task: ``(point_index, config)`` with heartbeat streaming."""
+    index, config = task
+    assert _worker_trace is not None, "worker initializer did not run"
+    return _replay_point(_worker_trace, config, index)
 
 
 def _warm_task(_index: int) -> int:
@@ -110,10 +212,12 @@ class SweepPool:
         self,
         trace: Union[TraceBuffer, str, Path],
         jobs: Optional[int] = None,
+        telemetry: Optional[SweepTelemetry] = None,
     ):
         if jobs is None:
             jobs = default_jobs()
         self.jobs = max(1, jobs)
+        self.telemetry = telemetry
         self._tmp_path: Optional[str] = None
         self._pool: Optional[ProcessPoolExecutor] = None
         self._trace: Optional[TraceBuffer] = None
@@ -131,10 +235,20 @@ class SweepPool:
             os.close(fd)
             write_trace(trace, self._tmp_path)
             trace_path = self._tmp_path
+        initargs = (trace_path,)
+        if telemetry is not None:
+            # A Manager queue proxy pickles into initargs under both
+            # fork and spawn, unlike a bare multiprocessing.Queue.
+            initargs = (
+                trace_path,
+                telemetry.queue,
+                telemetry.chunk_refs,
+                telemetry.interval_seconds,
+            )
         self._pool = ProcessPoolExecutor(
             max_workers=self.jobs,
             initializer=_init_worker,
-            initargs=(trace_path,),
+            initargs=initargs,
         )
 
     @property
@@ -165,9 +279,27 @@ class SweepPool:
         """Replay the pool's trace against every config, in input order."""
         configs = list(configs)
         if self._pool is not None:
+            if self.telemetry is not None:
+                return list(
+                    self._pool.map(_replay_one_indexed, enumerate(configs))
+                )
             return list(self._pool.map(_replay_one, configs))
         assert self._trace is not None
-        return [replay(self._trace, config) for config in configs]
+        if self.telemetry is None:
+            return [replay(self._trace, config) for config in configs]
+        # Serial mode streams heartbeats too — same records, emitted
+        # from the parent process itself through the module globals.
+        global _worker_queue, _worker_chunk, _worker_interval
+        _worker_queue = self.telemetry.queue
+        _worker_chunk = self.telemetry.chunk_refs
+        _worker_interval = self.telemetry.interval_seconds
+        try:
+            return [
+                _replay_point(self._trace, config, index)
+                for index, config in enumerate(configs)
+            ]
+        finally:
+            _worker_queue = None
 
     def close(self) -> None:
         """Shut the workers down and delete the pool's temp trace file."""
@@ -194,6 +326,7 @@ def run_sweep(
     configs: Sequence[SimulationConfig],
     jobs: Optional[int] = None,
     pool: Optional[SweepPool] = None,
+    telemetry: Optional[SweepTelemetry] = None,
 ) -> List[SystemStats]:
     """Replay *trace* against every config, farming points out to *jobs*
     worker processes.
@@ -209,10 +342,14 @@ def run_sweep(
     bit.
 
     Passing an open :class:`SweepPool` as *pool* serves the sweep from
-    its already-warm workers (*trace* and *jobs* are ignored — the pool
-    fixed both at construction).  Without one, a pool is built and torn
-    down for this call alone; callers sweeping repeatedly should hold
-    their own.
+    its already-warm workers (*trace*, *jobs* and *telemetry* are
+    ignored — the pool fixed them at construction).  Without one, a
+    pool is built and torn down for this call alone; callers sweeping
+    repeatedly should hold their own.
+
+    *telemetry* (a :class:`~repro.obs.telemetry.SweepTelemetry`) makes
+    each worker stream heartbeat/progress records while it replays;
+    without it workers replay through the unchunked fast path.
     """
     configs = list(configs)
     if pool is not None:
@@ -221,11 +358,11 @@ def run_sweep(
         jobs = default_jobs()
     jobs = min(jobs, len(configs)) if configs else 1
     logger.info("sweeping %d configs across %d workers", len(configs), jobs)
-    if jobs <= 1:
+    if jobs <= 1 and telemetry is None:
         if isinstance(trace, (str, Path)):
             trace = read_trace(trace)
         return [replay(trace, config) for config in configs]
-    with SweepPool(trace, jobs=jobs) as sweep_pool:
+    with SweepPool(trace, jobs=jobs, telemetry=telemetry) as sweep_pool:
         return sweep_pool.map(configs)
 
 
@@ -234,13 +371,16 @@ def run_sweep_report(
     configs: Sequence[SimulationConfig],
     jobs: Optional[int] = None,
     trace_cache_key: Optional[str] = None,
+    telemetry: Optional[SweepTelemetry] = None,
 ) -> dict:
     """:func:`run_sweep` plus provenance: a JSON-ready report.
 
     Each sweep point carries its own config fingerprint (so a point can
     be matched back to its configuration from the report alone) and the
     report as a whole carries a ``repro.obs/manifest/v1`` manifest
-    keyed on the *first* configuration — the sweep's baseline.
+    keyed on the *first* configuration — the sweep's baseline.  When
+    the sweep streamed *telemetry*, the fleet summary (heartbeat count,
+    points completed, stall episodes) lands in the manifest extra.
 
     An empty config list yields a well-formed empty report: zero
     points, a schema-valid manifest with a null config (there is no
@@ -248,13 +388,20 @@ def run_sweep_report(
     """
     configs = list(configs)
     start = time.perf_counter()
-    results = run_sweep(trace, configs, jobs=jobs) if configs else []
+    results = (
+        run_sweep(trace, configs, jobs=jobs, telemetry=telemetry)
+        if configs
+        else []
+    )
     wall = time.perf_counter() - start
+    extra = {"kind": "sweep", "n_points": len(configs)}
+    if telemetry is not None:
+        extra["telemetry"] = telemetry.summary()
     manifest = build_manifest(
         config=configs[0] if configs else None,
         trace_cache_key=trace_cache_key,
         wall_seconds=round(wall, 3),
-        extra={"kind": "sweep", "n_points": len(configs)},
+        extra=extra,
     )
     return {
         "manifest": manifest,

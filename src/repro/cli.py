@@ -18,7 +18,19 @@ Commands
 ``bench``
     Measure replay throughput and sweep wall time, writing
     ``BENCH_replay.json``; ``--assert-overhead`` turns it into the
-    no-sink overhead gate.
+    no-sink overhead gate, and ``--compare`` diffs the run against the
+    same-host ``BENCH_history.jsonl`` records (appending the new one)
+    with a noise-aware regression threshold.
+``metrics``
+    Replay a benchmark or trace and print the cycle ledger — every PE
+    cycle attributed to hit service, bus issue/wait/occupancy, lock
+    spinning or network stalls, asserted to sum exactly to the PE
+    clocks; ``--json`` emits the ``repro.obs/metrics/v1`` record,
+    ``--openmetrics`` writes an OpenMetrics text exposition.
+``sweep``
+    Run a capacity sweep over worker processes with live fleet
+    telemetry: ``--progress`` streams per-worker heartbeat lines, and
+    the JSON report records the fleet summary in its manifest.
 ``profile``
     Replay a benchmark or trace file with the protocol probe attached
     and write the full observability bundle (Perfetto trace, windowed
@@ -310,6 +322,21 @@ def cmd_bench(args) -> int:
     print(bench.format_report(report))
     path = bench.write_report(report, args.output)
     print(f"benchmark report written: {path}")
+    regressed = False
+    if args.history or args.compare:
+        from repro.analysis import history as history_module
+
+        history_path = args.history or history_module.DEFAULT_HISTORY
+        record = history_module.history_record(report)
+        if args.compare:
+            # Compare against what's already there, then append — the
+            # fresh run must not be its own baseline.
+            prior = history_module.load_history(history_path)
+            comparison = history_module.compare_to_history(record, prior)
+            print(history_module.format_comparison(comparison))
+            regressed = comparison["regressed"]
+        history_module.append_history(record, history_path)
+        print(f"bench history appended: {history_path}")
     if args.assert_overhead is not None:
         overhead = report.get("no_sink_overhead") or {}
         if not overhead.get("within_bound", False):
@@ -330,6 +357,10 @@ def cmd_bench(args) -> int:
                   f"persistent pool must not lose to serial on a "
                   f"multi-CPU host", file=sys.stderr)
             return 1
+    if regressed:
+        print("error: bench regressed against the same-host history "
+              "(see the comparison above)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -381,6 +412,124 @@ def cmd_profile(args) -> int:
         print(f"  {kind:>9}: {paths[kind]}")
     print("open the .trace.json in https://ui.perfetto.dev "
           "(or chrome://tracing)")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    import json
+
+    from repro.obs.metrics import (
+        MetricsRegistry,
+        cycle_ledger,
+        format_ledger,
+        metrics_record,
+        write_openmetrics,
+    )
+    from repro.obs.manifest import build_manifest
+    from repro.obs.schema import validate_metrics
+
+    buffer, name, pes, cache_key = _replay_source(args)
+    config = _sim_config(args)
+    import time as time_module
+
+    started = time_module.perf_counter()
+    if config.cluster.n_clusters > 1:
+        from repro.analysis.parallel import run_clustered
+
+        clustered = run_clustered(buffer, config, n_pes=pes, jobs=1)
+        stats, network = clustered.stats, clustered.network
+    else:
+        stats = replay(buffer, config, n_pes=pes, kernel=args.kernel)
+        network = None
+    wall = time_module.perf_counter() - started
+    ledger = cycle_ledger(stats, network=network)
+    if args.openmetrics:
+        registry = MetricsRegistry()
+        ledger.to_registry(
+            registry,
+            source=name,
+            protocol=config.protocol,
+            kernel=args.kernel,
+        )
+        path = write_openmetrics(registry, args.openmetrics)
+        print(f"openmetrics written: {path}")
+    if args.json or args.output:
+        record = metrics_record(
+            ledger,
+            manifest=build_manifest(
+                config=config,
+                trace_cache_key=cache_key,
+                wall_seconds=round(wall, 3),
+                command="metrics",
+                extra={"kind": "metrics", "source": name, "refs": len(buffer),
+                       "n_pes": pes, "kernel": args.kernel},
+            ),
+        )
+        validate_metrics(record)
+        text = json.dumps(record, indent=2)
+        if args.output:
+            Path(args.output).write_text(text + "\n")
+            print(f"metrics written: {args.output}")
+        else:
+            print(text)
+        return 0
+    print(f"cycle ledger for {name} ({len(buffer):,} refs, {pes} PEs, "
+          f"{config.protocol}, kernel={args.kernel})")
+    print(format_ledger(ledger))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    import json
+
+    from repro.analysis.parallel import default_jobs, run_sweep_report
+    from repro.core.config import CacheConfig as _CacheConfig
+    from repro.obs.telemetry import SweepTelemetry, format_heartbeat
+
+    if args.points < 1:
+        print("error: --points must be at least 1", file=sys.stderr)
+        return 2
+    buffer, name, pes, cache_key = _replay_source(args)
+    configs = [
+        SimulationConfig(
+            cache=_CacheConfig(n_sets=64 << i), protocol=args.protocol
+        )
+        for i in range(args.points)
+    ]
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    on_heartbeat = None
+    if args.progress:
+        def on_heartbeat(record):
+            print(format_heartbeat(record), flush=True)
+    with SweepTelemetry(
+        interval_seconds=args.interval,
+        chunk_refs=args.chunk,
+        on_heartbeat=on_heartbeat,
+        use_processes=jobs > 1,
+    ) as telemetry:
+        report = run_sweep_report(
+            buffer,
+            configs,
+            jobs=jobs,
+            trace_cache_key=cache_key,
+            telemetry=telemetry,
+        )
+    summary = report["manifest"]["extra"]["telemetry"]
+    print(f"sweep of {name}: {len(configs)} points x {len(buffer):,} refs "
+          f"on {min(jobs, len(configs))} worker(s) "
+          f"in {report['wall_seconds']:.2f}s")
+    print(f"telemetry: {summary['heartbeats']} heartbeats, "
+          f"{summary['points_completed']} points completed, "
+          f"{summary['stall_events']} stall warnings")
+    for config, point in zip(configs, report["points"]):
+        stats = point["stats"]
+        print(f"  {config.cache.n_sets:>5} sets: "
+              f"miss ratio {stats['miss_ratio']:.4f}, "
+              f"bus {stats['bus_cycles_total']:,} cycles "
+              f"[{point['config_hash']}]")
+    if args.output:
+        Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"sweep report written: {args.output}")
     return 0
 
 
@@ -707,6 +856,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--clusters", type=int, default=2,
                               help="cluster count for the clustered-replay "
                                    "section (default 2)")
+    bench_parser.add_argument("--compare", action="store_true",
+                              help="diff this run against the same-host "
+                                   "bench history (noise-aware threshold) "
+                                   "before appending it; exit 1 on "
+                                   "regression")
+    bench_parser.add_argument("--history", metavar="PATH", default=None,
+                              help="history JSONL path (default "
+                                   "BENCH_history.jsonl; appended whenever "
+                                   "given or --compare is set)")
     bench_parser.set_defaults(handler=cmd_bench)
 
     profile_parser = commands.add_parser(
@@ -738,6 +896,80 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="artifact directory (default ./profile)")
     _add_cache_options(profile_parser)
     profile_parser.set_defaults(handler=cmd_profile)
+
+    metrics_parser = commands.add_parser(
+        "metrics",
+        help="replay and print the cycle ledger (every PE cycle "
+             "attributed, sums checked against the PE clocks)",
+    )
+    metrics_source = metrics_parser.add_mutually_exclusive_group(required=True)
+    metrics_source.add_argument("--benchmark",
+                                choices=list(benchmark_names()),
+                                help="meter a paper benchmark's trace "
+                                     "(via the trace cache)")
+    metrics_source.add_argument("--trace",
+                                help="meter a recorded trace file")
+    metrics_parser.add_argument("--scale", default="small",
+                                choices=["tiny", "small", "medium", "paper"])
+    metrics_parser.add_argument("--pes", type=int, default=8,
+                                help="PE count (with --trace, 0 means "
+                                     "the trace's own)")
+    metrics_parser.add_argument("--kernel", default="auto",
+                                choices=["auto", "generated", "interpreted"],
+                                help="replay kernel (default auto; ignored "
+                                     "with --clusters > 1)")
+    metrics_parser.add_argument("--json", action="store_true",
+                                help="emit the schema-validated "
+                                     "repro.obs/metrics/v1 JSON instead of "
+                                     "the table")
+    metrics_parser.add_argument("--output", "-o",
+                                help="write the JSON record to a file "
+                                     "(implies --json)")
+    metrics_parser.add_argument("--openmetrics", metavar="PATH",
+                                help="also write an OpenMetrics text "
+                                     "exposition of the ledger")
+    _add_cache_options(metrics_parser)
+    _add_cluster_options(metrics_parser)
+    metrics_parser.set_defaults(handler=cmd_metrics)
+
+    sweep_parser = commands.add_parser(
+        "sweep",
+        help="run a capacity sweep over worker processes with live "
+             "fleet telemetry",
+    )
+    sweep_source = sweep_parser.add_mutually_exclusive_group(required=True)
+    sweep_source.add_argument("--benchmark",
+                              choices=list(benchmark_names()),
+                              help="sweep a paper benchmark's trace "
+                                   "(via the trace cache)")
+    sweep_source.add_argument("--trace", help="sweep a recorded trace file")
+    sweep_parser.add_argument("--scale", default="small",
+                              choices=["tiny", "small", "medium", "paper"])
+    sweep_parser.add_argument("--pes", type=int, default=8,
+                              help="PE count (with --trace, 0 means "
+                                   "the trace's own)")
+    sweep_parser.add_argument("--points", type=int, default=4,
+                              help="capacity points, doubling set counts "
+                                   "from 64 (default 4)")
+    sweep_parser.add_argument("--protocol", default="pim",
+                              choices=list(protocol_names()),
+                              help="coherence protocol for every point")
+    sweep_parser.add_argument("--jobs", type=int, default=None,
+                              help="worker processes (default: one per "
+                                   "usable CPU; 1 = in-process)")
+    sweep_parser.add_argument("--progress", action="store_true",
+                              help="print a line per worker heartbeat")
+    sweep_parser.add_argument("--interval", type=float, default=0.5,
+                              help="seconds between worker heartbeats "
+                                   "(default 0.5)")
+    sweep_parser.add_argument("--chunk", type=int, default=32768,
+                              help="references per worker replay chunk — "
+                                   "the heartbeat check cadence "
+                                   "(default 32768)")
+    sweep_parser.add_argument("--output", "-o",
+                              help="write the JSON sweep report "
+                                   "(points + telemetry manifest)")
+    sweep_parser.set_defaults(handler=cmd_sweep)
 
     events_parser = commands.add_parser(
         "events", help="print or export a replay's protocol event stream"

@@ -477,6 +477,9 @@ def _kernel(system, buffer, np):
     # Fold the deferred counters.
     for p in range(n_pes):
         pe_cycles[p] += total_pe[p] - fb_pe[p] - consumed[p]
+    # Every non-fallback fast-kind reference (dup tails included) is one
+    # bus-free cycle; fallback handlers credit their own bus-free sites.
+    stats.hit_service_cycles += sum(total_pe) - sum(fb_pe)
     hits = system._hits
     for c in range({N_CELLS}):
         count = total_cells[c] - fb_cells[c]

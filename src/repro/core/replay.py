@@ -312,6 +312,10 @@ def replay(
         # ``max(pe_clock + 1, bus_free_at)``, so a hit cycle missing from
         # the live clock would shift subsequent miss timing.
         r_hits = [0] * N_AREAS
+        # Non-R inlined hits (ER non-last-word, silent W/DW) also cost
+        # exactly one bus-free cycle each; counted flat and folded into
+        # ``hit_service_cycles`` with the plain-R total after the loop.
+        other_hits = 0
         hits = system._hits
         pe_cycles = system._pe_cycles
         block_mask = system._block_mask
@@ -360,6 +364,7 @@ def replay(
                         line.lru = gtick
                         hits[area][op] += 1
                         pe_cycles[pe] += 1
+                        other_hits += 1
                         continue
                 elif handler is dw_h or handler is write_h:
                     line = probes[pe](block)
@@ -373,6 +378,7 @@ def replay(
                             line.state = next_state
                             hits[area][op] += 1
                             pe_cycles[pe] += 1
+                            other_hits += 1
                             continue
             cache = caches[pe]
             cache._tick = gtick
@@ -388,6 +394,7 @@ def replay(
             cache._tick = gtick
         for area, count in enumerate(r_hits):
             hits[area][0] += count
+        stats.hit_service_cycles += sum(r_hits) + other_hits
     else:
         for pe, op, area, addr, flags in zip(
             pe_col, op_col, area_col, addr_col, flags_col

@@ -53,6 +53,9 @@ class SystemStats:
         "swap_outs",
         "c2c_transfers",
         "memory_busy_cycles",
+        "bus_wait_cycles",
+        "lock_spin_cycles",
+        "hit_service_cycles",
         "pe_cycles",
     )
 
@@ -93,6 +96,20 @@ class SystemStats:
         #: Cycles the shared-memory modules spend servicing requests —
         #: the figure the SM state is designed to reduce (Section 3.1).
         self.memory_busy_cycles = 0
+        # Cycle-ledger attribution (repro.obs.metrics).  Together with
+        # the bus issue/occupancy cycles these partition ``pe_cycles``:
+        # sum(pe_cycles) == hit_service_cycles + sum(pattern_counts)
+        #                 + bus_wait_cycles + sum(pattern_cycles)
+        #                 + lock_spin_cycles [+ network stall cycles].
+        #: Cycles PEs spend waiting for bus arbitration (requested the
+        #: bus while another transaction held it).
+        self.bus_wait_cycles = 0
+        #: Extra busy-wait cycles burned re-issuing an LR after an LH
+        #: response (the first, bus-charged attempt is not counted here).
+        self.lock_spin_cycles = 0
+        #: Single-cycle bus-free accesses: cache hits served entirely
+        #: locally (plus DW's fetch-free clean allocations).
+        self.hit_service_cycles = 0
         #: Per-PE elapsed cycles under the bus-serialization timing model.
         self.pe_cycles = [0] * n_pes
 
@@ -120,6 +137,9 @@ class SystemStats:
         "swap_outs",
         "c2c_transfers",
         "memory_busy_cycles",
+        "bus_wait_cycles",
+        "lock_spin_cycles",
+        "hit_service_cycles",
     )
 
     def merge(self, other: "SystemStats") -> "SystemStats":
@@ -335,6 +355,9 @@ class SystemStats:
             "swap_outs": self.swap_outs,
             "c2c_transfers": self.c2c_transfers,
             "memory_busy_cycles": self.memory_busy_cycles,
+            "bus_wait_cycles": self.bus_wait_cycles,
+            "lock_spin_cycles": self.lock_spin_cycles,
+            "hit_service_cycles": self.hit_service_cycles,
             "pe_cycles": list(self.pe_cycles),
         }
 

@@ -425,6 +425,7 @@ class PIMCacheSystem:
         pe_cycles = self._pe_cycles
         start = pe_cycles[pe] + 1
         if start < self.bus_free_at:
+            stats.bus_wait_cycles += self.bus_free_at - start
             start = self.bus_free_at
         end = start + cycles
         self.bus_free_at = end
@@ -434,6 +435,7 @@ class PIMCacheSystem:
     def _no_bus(self, pe: int) -> int:
         """Advance the PE clock for a bus-free access (cache hit)."""
         self._pe_cycles[pe] += 1
+        self.stats.hit_service_cycles += 1
         return 1
 
     def _copyback_dirty_remotes(self, block: int, remotes: List[int]) -> None:
@@ -552,6 +554,7 @@ class PIMCacheSystem:
             self._bus(pe, _INVALIDATION, area)
         else:
             self.stats.pe_cycles[pe] += 1  # one spin cycle
+            self.stats.lock_spin_cycles += 1
         return True
 
     # ------------------------------------------------------------------
@@ -577,6 +580,7 @@ class PIMCacheSystem:
             line.lru = cache._tick
             self._hits[area][sop] += 1
             self._pe_cycles[pe] += 1
+            self.stats.hit_service_cycles += 1
             if self.track_data:
                 return (1, 0, line.data[address & self._block_mask])
             return _HIT
@@ -638,6 +642,7 @@ class PIMCacheSystem:
                 line.state = next_state
                 self._hits[area][sop] += 1
                 self._pe_cycles[pe] += 1
+                self.stats.hit_service_cycles += 1
                 if self.track_data:
                     line.data[address & self._block_mask] = value
                 return _HIT
@@ -794,6 +799,7 @@ class PIMCacheSystem:
                 line.state = next_state
                 self._hits[area][sop] += 1
                 self._pe_cycles[pe] += 1
+                self.stats.hit_service_cycles += 1
                 if self.track_data:
                     line.data[address & self._block_mask] = value
                 return _HIT
@@ -823,6 +829,7 @@ class PIMCacheSystem:
             cycles = self._bus(pe, BusPattern.SWAP_OUT_ONLY, area)
             return (cycles, 0, None)
         self.stats.pe_cycles[pe] += 1
+        self.stats.hit_service_cycles += 1
         return _HIT
 
     def _purge(self, pe: int, area: int, block: int, line) -> None:
@@ -851,6 +858,7 @@ class PIMCacheSystem:
             if last_word:
                 self._purge(pe, area, block, line)
             self.stats.pe_cycles[pe] += 1
+            self.stats.hit_service_cycles += 1
             return (1, 0, value)
         remotes = self._remote_holders(pe, block)
         if remotes and not last_word:

@@ -9,7 +9,13 @@ trace-event JSON format (the ``traceEvents`` array form), which both
   so bus occupancy is visible at a glance;
 * pid 1 groups the **processing elements**, one thread row per PE —
   lock busy-wait episodes (LH) are slices, unlock broadcasts (UL) and
-  cache-state transitions are instant events on the issuing PE's row.
+  cache-state transitions are instant events on the issuing PE's row;
+* pid 2 is the **inter-cluster network** (clustered runs only) — each
+  remote forward becomes a slice on the issuing PE's row whose duration
+  is the stall the network charged, so remote-traffic hot spots line up
+  against the bus and PE lanes;
+* pid 3 carries the **counter tracks** (see :mod:`repro.obs.metrics`)
+  when the caller merges them in via ``counter_events``.
 
 Timestamps are simulated cycles reported in the ``ts``/``dur``
 microsecond fields (1 cycle = 1 "us"); absolute wall time is
@@ -42,9 +48,16 @@ LH_BUS_CYCLES = 2
 
 
 def chrome_trace(
-    events: Iterable[ProtocolEvent], n_pes: Optional[int] = None
+    events: Iterable[ProtocolEvent],
+    n_pes: Optional[int] = None,
+    counter_events: Optional[Iterable[dict]] = None,
 ) -> dict:
-    """Render *events* as a Chrome trace-event / Perfetto JSON object."""
+    """Render *events* as a Chrome trace-event / Perfetto JSON object.
+
+    *counter_events* (prebuilt "C"-phase records, e.g. from
+    :func:`repro.obs.metrics.counter_track_events`) are appended
+    verbatim so one file carries slices and counter tracks together.
+    """
     events = list(events)
     if n_pes is None:
         n_pes = max((event.pe for event in events), default=0) + 1
@@ -61,6 +74,9 @@ def chrome_trace(
             {"ph": "M", "pid": 1, "tid": pe, "name": "thread_name",
              "args": {"name": f"PE{pe}"}}
         )
+    # The network lane only exists in clustered runs; its metadata is
+    # added lazily so single-bus traces keep their two-process layout.
+    network_rows: set = set()
     for event in events:
         args = {
             "pe": event.pe,
@@ -113,6 +129,31 @@ def chrome_trace(
                 "tid": event.pe,
                 "args": args,
             })
+        elif event.kind == EventKind.NETWORK:
+            if not network_rows:
+                trace_events.append(
+                    {"ph": "M", "pid": 2, "tid": 0, "name": "process_name",
+                     "args": {"name": "inter-cluster network"}}
+                )
+            if event.pe not in network_rows:
+                network_rows.add(event.pe)
+                trace_events.append(
+                    {"ph": "M", "pid": 2, "tid": event.pe,
+                     "name": "thread_name",
+                     "args": {"name": f"PE{event.pe} forwards"}}
+                )
+            trace_events.append({
+                "name": event.detail,
+                "cat": "network",
+                "ph": "X",
+                "ts": max(0, event.cycle - event.value),
+                "dur": event.value,
+                "pid": 2,
+                "tid": event.pe,
+                "args": args,
+            })
+    if counter_events is not None:
+        trace_events.extend(counter_events)
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
@@ -124,9 +165,15 @@ def write_chrome_trace(
     events: Iterable[ProtocolEvent],
     path: Union[str, Path],
     n_pes: Optional[int] = None,
+    counter_events: Optional[Iterable[dict]] = None,
 ) -> Path:
     path = Path(path)
-    path.write_text(json.dumps(chrome_trace(events, n_pes=n_pes)) + "\n")
+    path.write_text(
+        json.dumps(
+            chrome_trace(events, n_pes=n_pes, counter_events=counter_events)
+        )
+        + "\n"
+    )
     return path
 
 

@@ -34,6 +34,7 @@ from repro.obs.export import (
 )
 from repro.obs.log import get_logger
 from repro.obs.manifest import build_manifest, write_manifest
+from repro.obs.metrics import counter_track_events
 from repro.obs.probe import ProtocolProbe
 from repro.obs.sink import RingBufferSink, write_events_jsonl
 from repro.obs.windows import Window, windowed_replay, write_windows_jsonl
@@ -114,6 +115,13 @@ def profile_trace(
         "profile done: %d events (%d dropped), %d windows, %.2fs",
         sink.emitted, sink.dropped, len(windows), wall,
     )
+    if sink.dropped > 0:
+        logger.warning(
+            "event ring overflowed: %d of %d events dropped — the "
+            "exported stream is incomplete (raise the event capacity, "
+            "e.g. repro profile --events)",
+            sink.dropped, sink.emitted,
+        )
     return ProfileResult(
         stats=stats,
         windows=windows,
@@ -142,7 +150,10 @@ def write_profile(
     out_dir.mkdir(parents=True, exist_ok=True)
     paths = {
         "trace": write_chrome_trace(
-            result.events, out_dir / f"{name}.trace.json", n_pes=result.n_pes
+            result.events,
+            out_dir / f"{name}.trace.json",
+            n_pes=result.n_pes,
+            counter_events=counter_track_events(result.windows),
         ),
         "windows": write_windows_jsonl(
             result.windows, out_dir / f"{name}.windows.jsonl"

@@ -15,6 +15,7 @@ from typing import Iterable, Mapping
 from repro.obs.events import EVENT_KIND_NAMES
 from repro.obs.export import HOTNESS_SCHEMA, TRACE_SCHEMA
 from repro.obs.manifest import MANIFEST_SCHEMA
+from repro.obs.metrics import METRICS_SCHEMA
 from repro.obs.windows import WINDOW_SCHEMA
 from repro.trace.events import AREA_NAMES, OP_NAMES
 
@@ -267,8 +268,163 @@ def validate_chrome_trace(record: Mapping) -> Mapping:
                 raise SchemaError(f"{entry}: negative ts/dur")
         elif phase == "i":
             _require(event, entry, "ts", (int, float))
+        elif phase == "C":
+            # Counter sample: a timestamp plus at least one series value.
+            _require(event, entry, "ts", (int, float))
+            args = _require(event, entry, "args", Mapping)
+            if not args:
+                raise SchemaError(f"{entry}.args: a counter sample needs a value")
         elif phase != "M":
             raise SchemaError(f"{entry}.ph: unexpected phase {phase!r}")
+    return record
+
+
+def validate_metrics(record: Mapping) -> Mapping:
+    """Validate one ``repro metrics`` record, identity included.
+
+    Beyond shape, this re-checks the cycle-ledger accounting identity —
+    the attributed buckets must sum exactly to ``pe_cycles_total`` — so
+    a record that passed through ``round``-happy tooling cannot claim
+    attribution it does not have.
+    """
+    where = "metrics"
+    schema = _require(record, where, "schema", str)
+    if schema != METRICS_SCHEMA:
+        raise SchemaError(f"{where}.schema: expected {METRICS_SCHEMA!r}, got {schema!r}")
+    ledger = _require(record, where, "ledger", Mapping)
+    entry = f"{where}.ledger"
+    total = _require(ledger, entry, "pe_cycles_total", int)
+    attributed = _require(ledger, entry, "attributed_total", int)
+    entries = _require(ledger, entry, "entries", Mapping)
+    if not entries:
+        raise SchemaError(f"{entry}.entries: a ledger needs at least one bucket")
+    for name, value in entries.items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise SchemaError(f"{entry}.entries[{name!r}]: expected a count")
+    if sum(entries.values()) != total or attributed != total:
+        raise SchemaError(
+            f"{entry}: attribution identity violated "
+            f"(entries sum {sum(entries.values())}, attributed {attributed}, "
+            f"pe_cycles_total {total})"
+        )
+    off_ledger = _require(ledger, entry, "off_ledger", Mapping)
+    for name, value in off_ledger.items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise SchemaError(f"{entry}.off_ledger[{name!r}]: expected a count")
+    fractions = _require(ledger, entry, "fractions", Mapping)
+    for name, value in fractions.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise SchemaError(f"{entry}.fractions[{name!r}]: expected a number")
+    manifest = _require(record, where, "manifest", None)
+    if manifest is not None:
+        validate_manifest(manifest)
+    return record
+
+
+def _require_rate(record: Mapping, where: str, key: str) -> object:
+    """A refs/sec-style field: a positive number or the ``"skipped"``
+    marker some sections record on hosts that cannot run them."""
+    value = _require(record, where, key, None)
+    if value == "skipped":
+        return value
+    if not isinstance(value, (int, float)) or isinstance(value, bool) or value <= 0:
+        raise SchemaError(f"{where}.{key}: expected a positive rate or 'skipped'")
+    return value
+
+
+def validate_bench(record: Mapping) -> Mapping:
+    """Validate one ``repro bench`` report (``BENCH_replay.json``)."""
+    where = "bench"
+    benchmark = _require(record, where, "benchmark", str)
+    if benchmark != "replay":
+        raise SchemaError(f"{where}.benchmark: expected 'replay', got {benchmark!r}")
+    _require(record, where, "quick", bool)
+    for key in ("host_cpus", "repeats"):
+        value = _require(record, where, key, int)
+        if isinstance(value, bool) or value < 1:
+            raise SchemaError(f"{where}.{key}: expected a positive int")
+    workloads = _require(record, where, "workloads", Mapping)
+    if not workloads:
+        raise SchemaError(f"{where}.workloads: a bench report needs workloads")
+    for name, entry in workloads.items():
+        sub = f"{where}.workloads[{name!r}]"
+        if not isinstance(entry, Mapping):
+            raise SchemaError(f"{sub}: expected an object")
+        _require(entry, sub, "refs", int)
+        _require_rate(entry, sub, "refs_per_sec")
+        ratio = _require(entry, sub, "hit_ratio", (int, float))
+        if not 0.0 <= float(ratio) <= 1.0:
+            raise SchemaError(f"{sub}.hit_ratio: {ratio} outside [0, 1]")
+    kernels = record.get("kernels")
+    if kernels is not None:
+        sub = f"{where}.kernels"
+        if not isinstance(kernels, Mapping):
+            raise SchemaError(f"{sub}: expected an object")
+        _require_rate(kernels, sub, "interpreted_refs_per_sec")
+        _require_rate(kernels, sub, "generated_refs_per_sec")
+    sweep = record.get("sweep")
+    if sweep is not None:
+        sub = f"{where}.sweep"
+        if not isinstance(sweep, Mapping):
+            raise SchemaError(f"{sub}: expected an object")
+        _require(sweep, sub, "points", int)
+        _require(sweep, sub, "refs", int)
+        speedup = _require(sweep, sub, "parallel_speedup", None)
+        if speedup is not None and speedup != "skipped":
+            if not isinstance(speedup, (int, float)) or isinstance(speedup, bool):
+                raise SchemaError(
+                    f"{sub}.parallel_speedup: expected a number, 'skipped' or null"
+                )
+    cluster = record.get("cluster")
+    if cluster is not None:
+        sub = f"{where}.cluster"
+        if not isinstance(cluster, Mapping):
+            raise SchemaError(f"{sub}: expected an object")
+        _require_rate(cluster, sub, "refs_per_sec_serial")
+        _require_rate(cluster, sub, "refs_per_sec_parallel")
+    manifest = record.get("manifest")
+    if manifest is not None:
+        validate_manifest(manifest)
+    return record
+
+
+#: Schema tag of ``BENCH_history.jsonl`` records (the producer lives in
+#: :mod:`repro.analysis.history`; the tag lives here so the validator
+#: has no upward dependency on the analysis layer).
+BENCH_HISTORY_SCHEMA = "repro.obs/bench-history/v1"
+
+
+def validate_bench_history(record: Mapping) -> Mapping:
+    """Validate one bench-history JSONL record."""
+    where = "bench-history"
+    schema = _require(record, where, "schema", str)
+    if schema != BENCH_HISTORY_SCHEMA:
+        raise SchemaError(
+            f"{where}.schema: expected {BENCH_HISTORY_SCHEMA!r}, got {schema!r}"
+        )
+    _require(record, where, "created_unix", (int, float))
+    host = _require(record, where, "host", Mapping)
+    _require(host, f"{where}.host", "fingerprint", str)
+    _require(host, f"{where}.host", "hostname", str)
+    _require(host, f"{where}.host", "machine", str)
+    cpus = _require(host, f"{where}.host", "cpus", int)
+    if isinstance(cpus, bool) or cpus < 1:
+        raise SchemaError(f"{where}.host.cpus: expected a positive int")
+    git_sha = _require(record, where, "git_sha", None)
+    if git_sha is not None and not isinstance(git_sha, str):
+        raise SchemaError(f"{where}.git_sha: expected str or null")
+    _require(record, where, "quick", bool)
+    _require(record, where, "repeats", int)
+    sections = _require(record, where, "sections", Mapping)
+    if not sections:
+        raise SchemaError(f"{where}.sections: a history record needs sections")
+    for name, value in sections.items():
+        if (
+            not isinstance(value, (int, float))
+            or isinstance(value, bool)
+            or value <= 0
+        ):
+            raise SchemaError(f"{where}.sections[{name!r}]: expected a positive number")
     return record
 
 

@@ -14,10 +14,16 @@ not a multiple (it is never empty — a trace ending exactly on a window
 boundary produces no trailing empty record).  The sum of every additive
 field over all windows equals the end-of-run aggregate.
 
-This is a diagnosis path: it drives :meth:`PIMCacheSystem.access`
-directly (counter-for-counter identical to :func:`repro.core.replay.
-replay`, which the tests assert) and leaves the no-sink replay kernel
-untouched.
+By default this is a diagnosis path: it drives
+:meth:`PIMCacheSystem.access` directly (counter-for-counter identical
+to :func:`repro.core.replay.replay`, which the tests assert) and leaves
+the no-sink replay kernel untouched.  Passing ``kernel=`` instead
+segments the trace at window boundaries and replays each segment
+through the production replay kernels (``"auto"``/``"generated"``/
+``"interpreted"``), so time-series metrics no longer force the slowest
+path: every deferred counter fold settles per :func:`~repro.core.
+replay.replay` call, which makes the segmented run — and therefore
+every window record — counter-identical to the per-access loop.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from typing import List, Optional, Tuple, Union
 
 from repro.core.config import SimulationConfig
 from repro.core.replay import ReplayBlockedError
+from repro.core.replay import replay as kernel_replay
 from repro.core.stats import SystemStats
 from repro.core.system import BLOCKED, PIMCacheSystem
 from repro.trace.buffer import TraceBuffer
@@ -136,6 +143,7 @@ def windowed_replay(
     window: int = 4096,
     probe=None,
     check_invariants_every: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> Tuple[SystemStats, List[Window]]:
     """Replay *buffer*, returning ``(stats, windows)``.
 
@@ -144,6 +152,15 @@ def windowed_replay(
     time series, and runs :meth:`PIMCacheSystem.check_invariants` every
     *check_invariants_every* references (the ``REPRO_CHECK_INVARIANTS``
     debug mode).
+
+    *kernel* (``"auto"``/``"generated"``/``"interpreted"``) replays
+    window-sized trace segments through :func:`repro.core.replay.
+    replay` instead of the per-access loop — the fast tier, counter-
+    identical by construction (see the module docstring).  With a
+    *kernel*, invariant checks run at window boundaries rather than
+    every N references, and a probe observes only what the chosen
+    kernel's handler calls emit (the fast kernels bypass the probe for
+    bus-free hits).
     """
     if config is None:
         config = SimulationConfig()
@@ -151,6 +168,14 @@ def windowed_replay(
     if probe is not None:
         system.attach_probe(probe)
     metrics = WindowedMetrics(system.stats, window)
+    if kernel is not None:
+        for start in range(0, len(buffer), window):
+            segment = buffer.slice(start, min(start + window, len(buffer)))
+            kernel_replay(segment, system=system, kernel=kernel)
+            metrics.close_window()
+            if check_invariants_every:
+                system.check_invariants()
+        return system.stats, metrics.windows
     access = system.access
     pe_col, op_col, area_col, addr_col, flags_col = buffer.columns()
     in_window = 0

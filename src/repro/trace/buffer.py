@@ -77,6 +77,22 @@ class TraceBuffer:
         """Return the raw columns ``(pe, op, area, addr, flags)``."""
         return self._pe, self._op, self._area, self._addr, self._flags
 
+    def slice(self, start: int, stop: int) -> "TraceBuffer":
+        """A new buffer holding references ``[start, stop)``.
+
+        Column slicing copies at ``array`` speed (raw memory), so
+        segmenting a trace at window boundaries — the windowed
+        generated-kernel tier, chunked worker telemetry — costs far
+        less than the replay of the segment itself.
+        """
+        out = TraceBuffer(self.n_pes)
+        out._pe = self._pe[start:stop]
+        out._op = self._op[start:stop]
+        out._area = self._area[start:stop]
+        out._addr = self._addr[start:stop]
+        out._flags = self._flags[start:stop]
+        return out
+
     def extend(self, other: "TraceBuffer") -> None:
         """Append every reference of *other* (PE numbering is preserved)."""
         self._pe.extend(other._pe)

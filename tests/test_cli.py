@@ -393,3 +393,127 @@ def test_verify_rejects_malformed_clusters(capsys):
         "verify", "--fuzz-only", "--clusters", "two,4",
     ]) == 2
     assert "--clusters" in capsys.readouterr().err
+
+
+def test_metrics_table_from_trace(tmp_path, capsys):
+    trace_file = tmp_path / "m.trace"
+    assert main([
+        "trace", "record", "pascal", "--scale", "tiny", "--pes", "2",
+        "-o", str(trace_file),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["metrics", "--trace", str(trace_file), "--pes", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "cycle ledger" in out
+    assert "identity verified" in out
+    assert "hit_service" in out
+
+
+def test_metrics_json_is_schema_valid(capsys):
+    import json
+
+    from repro.obs.schema import validate_metrics
+
+    assert main([
+        "metrics", "--benchmark", "pascal", "--scale", "tiny", "--pes", "2",
+        "--json",
+    ]) == 0
+    record = json.loads(capsys.readouterr().out)
+    validate_metrics(record)
+    assert record["manifest"]["extra"]["kind"] == "metrics"
+
+
+def test_metrics_openmetrics_export(tmp_path, capsys):
+    out_file = tmp_path / "metrics.txt"
+    assert main([
+        "metrics", "--benchmark", "pascal", "--scale", "tiny", "--pes", "2",
+        "--openmetrics", str(out_file),
+    ]) == 0
+    text = out_file.read_text()
+    assert text.endswith("# EOF\n")
+    assert 'bucket="hit_service"' in text
+    assert 'protocol="pim"' in text
+
+
+def test_metrics_clustered_ledger_includes_network(capsys):
+    assert main([
+        "metrics", "--benchmark", "pascal", "--scale", "tiny", "--pes", "4",
+        "--clusters", "2",
+    ]) == 0
+    assert "network_stall" in capsys.readouterr().out
+
+
+def test_sweep_serial_progress_smoke(tmp_path, capsys):
+    out_file = tmp_path / "sweep.json"
+    assert main([
+        "sweep", "--benchmark", "pascal", "--scale", "tiny", "--pes", "2",
+        "--points", "2", "--jobs", "1", "--progress",
+        "--interval", "0.001", "--chunk", "1024",
+        "--output", str(out_file),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "worker" in out          # heartbeat lines streamed
+    assert "points completed" in out
+    assert out_file.exists()
+    import json
+
+    report = json.loads(out_file.read_text())
+    assert report["manifest"]["extra"]["telemetry"]["points_completed"] == 2
+
+
+def test_sweep_rejects_bad_points(capsys):
+    assert main([
+        "sweep", "--benchmark", "pascal", "--scale", "tiny", "--points", "0",
+    ]) == 2
+
+
+def test_bench_compare_flags_injected_regression(tmp_path, capsys, monkeypatch):
+    import json
+
+    from repro.analysis import bench, history
+
+    fake_report = {
+        "benchmark": "replay",
+        "quick": True,
+        "host_cpus": 2,
+        "repeats": 1,
+        "workloads": {
+            "hot": {
+                "refs": 1000,
+                "refs_per_sec": 1_000_000.0,
+                "hit_ratio": 0.9,
+            },
+        },
+    }
+    monkeypatch.setattr(bench, "run_bench", lambda **kwargs: dict(fake_report))
+    monkeypatch.setattr(bench, "format_report", lambda report: "(stubbed)")
+    history_path = tmp_path / "history.jsonl"
+    out_file = tmp_path / "bench.json"
+
+    # Baseline run: nothing to compare against, appends, exits clean.
+    assert main([
+        "bench", "--quick", "-o", str(out_file),
+        "--compare", "--history", str(history_path),
+    ]) == 0
+    capsys.readouterr()
+
+    # Identical rerun stays clean.
+    out_file.unlink()  # leave no no-sink-overhead reference behind
+    assert main([
+        "bench", "--quick", "-o", str(out_file),
+        "--compare", "--history", str(history_path),
+    ]) == 0
+    assert "verdict: clean" in capsys.readouterr().out
+
+    # A 25% drop in refs/sec must fail the run.
+    fake_report["workloads"]["hot"]["refs_per_sec"] = 750_000.0
+    out_file.unlink()
+    assert main([
+        "bench", "--quick", "-o", str(out_file),
+        "--compare", "--history", str(history_path),
+    ]) == 1
+    captured = capsys.readouterr()
+    assert "verdict: REGRESSED" in captured.out
+    assert "regression" in captured.err
+    # Every run appended its record, regressed or not.
+    assert len(history.load_history(history_path)) == 3

@@ -5,7 +5,9 @@ import json
 import pytest
 
 from repro.core.config import SimulationConfig
+from repro.obs.events import EventKind, ProtocolEvent
 from repro.obs.export import block_histogram, chrome_trace, write_chrome_trace
+from repro.obs.metrics import COUNTER_PID, counter_track_events
 from repro.obs.probe import ProtocolProbe
 from repro.obs.schema import validate_chrome_trace, validate_hotness
 from repro.obs.sink import CollectorSink
@@ -114,3 +116,63 @@ def test_chrome_trace_infers_pe_count():
         if r["ph"] == "M" and r["name"] == "thread_name"
     }
     assert "PE2" in names
+
+
+def network_event(seq, pe, cycle, stall):
+    return ProtocolEvent(
+        seq, seq, cycle, EventKind.NETWORK, pe, Op.R, Area.HEAP,
+        AREA_BASE[Area.HEAP], f"->cluster1 fetch={stall}", stall,
+    )
+
+
+def test_network_events_get_their_own_process_lane():
+    trace = generate_random_trace(200, n_pes=2, seed=3)
+    events = observed_events(trace, 2)
+    seq = len(events)
+    events += [
+        network_event(seq, 0, 100, 12),
+        network_event(seq + 1, 1, 140, 9),
+        network_event(seq + 2, 0, 180, 7),
+    ]
+    doc = chrome_trace(events, n_pes=2)
+    validate_chrome_trace(doc)
+    rows = doc["traceEvents"]
+    slices = [r for r in rows if r.get("cat") == "network"]
+    assert len(slices) == 3
+    assert all(r["ph"] == "X" and r["pid"] == 2 for r in slices)
+    first = slices[0]
+    assert first["dur"] == 12
+    assert first["ts"] == 100 - 12
+    # Lazy metadata: one process row, one thread row per forwarding PE.
+    metadata = [r for r in rows if r["ph"] == "M" and r["pid"] == 2]
+    process = [r for r in metadata if r["name"] == "process_name"]
+    threads = [r for r in metadata if r["name"] == "thread_name"]
+    assert len(process) == 1
+    assert process[0]["args"]["name"] == "inter-cluster network"
+    assert {t["args"]["name"] for t in threads} == {
+        "PE0 forwards", "PE1 forwards"
+    }
+
+
+def test_single_bus_trace_has_no_network_lane():
+    trace = generate_random_trace(200, n_pes=2, seed=3)
+    doc = chrome_trace(observed_events(trace, 2), n_pes=2)
+    assert not any(r["pid"] == 2 for r in doc["traceEvents"])
+
+
+def test_counter_events_merge_into_the_trace():
+    trace = generate_random_trace(1000, n_pes=2, seed=6)
+    sink = CollectorSink()
+    _, windows = windowed_replay(
+        trace, SimulationConfig(), n_pes=2,
+        probe=ProtocolProbe(sink), window=256,
+    )
+    counters = counter_track_events(windows)
+    doc = chrome_trace(sink.events, n_pes=2, counter_events=counters)
+    validate_chrome_trace(doc)
+    # Every prebuilt record — metadata and samples — lands verbatim.
+    for record in counters:
+        assert record in doc["traceEvents"]
+    samples = [r for r in doc["traceEvents"] if r["ph"] == "C"]
+    assert samples == [r for r in counters if r["ph"] == "C"]
+    assert samples and all(r["pid"] == COUNTER_PID for r in samples)

@@ -209,3 +209,48 @@ def test_contended_trace_replays_lock_events_through_probe():
     assert stats.lh_responses == 1
     details = [e.detail for e in events_of_kind(sink, EventKind.LOCK)]
     assert "LH" in details and "UL" in details
+
+
+def test_profile_warns_when_the_ring_drops_events(caplog):
+    import logging
+
+    from repro.obs.profile import profile_trace
+    from repro.trace.synthetic import generate_random_trace
+
+    trace = generate_random_trace(2000, n_pes=2, seed=12)
+    repro_logger = logging.getLogger("repro")
+    propagate = repro_logger.propagate
+    repro_logger.propagate = True  # the CLI may have detached it
+    try:
+        with caplog.at_level(logging.WARNING, logger="repro.obs.profile"):
+            result = profile_trace(trace, event_capacity=16)
+    finally:
+        repro_logger.propagate = propagate
+    assert result.events_dropped > 0
+    warnings = [
+        r for r in caplog.records if r.levelno == logging.WARNING
+    ]
+    assert any("dropped" in r.getMessage() for r in warnings)
+    # The manifest still accounts for the loss exactly.
+    extra = result.manifest["extra"]
+    assert extra["events_dropped"] == result.events_dropped
+    assert extra["events_emitted"] == result.events_emitted
+
+
+def test_profile_quiet_when_nothing_dropped(caplog):
+    import logging
+
+    from repro.obs.profile import profile_trace
+    from repro.trace.synthetic import generate_random_trace
+
+    trace = generate_random_trace(300, n_pes=2, seed=12)
+    repro_logger = logging.getLogger("repro")
+    propagate = repro_logger.propagate
+    repro_logger.propagate = True
+    try:
+        with caplog.at_level(logging.WARNING, logger="repro.obs.profile"):
+            result = profile_trace(trace, event_capacity=65536)
+    finally:
+        repro_logger.propagate = propagate
+    assert result.events_dropped == 0
+    assert not [r for r in caplog.records if r.levelno >= logging.WARNING]

@@ -130,3 +130,22 @@ def test_windows_jsonl_round_trip_validates(tmp_path):
     first = json.loads(lines[0])
     assert first["schema"] == "repro.obs/window/v1"
     assert first["refs"] == 4
+
+
+def test_kernel_tier_matches_access_driven_windows_exactly():
+    from repro.core.protocol import codegen
+
+    trace = generate_random_trace(5000, n_pes=4, seed=17)
+    config = SimulationConfig()
+    base_stats, base_windows = windowed_replay(trace, config, window=512)
+    kernels = ["interpreted"] + (
+        ["generated", "auto"] if codegen.available() else []
+    )
+    for kernel in kernels:
+        stats, windows = windowed_replay(
+            trace, config, window=512, kernel=kernel
+        )
+        assert stats.as_dict() == base_stats.as_dict(), kernel
+        assert [w.to_dict() for w in windows] == [
+            w.to_dict() for w in base_windows
+        ], kernel

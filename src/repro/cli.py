@@ -47,7 +47,11 @@ Commands
 
 ``run``, ``compare`` and ``bench`` accept ``--clusters K`` to simulate
 a hierarchical machine: K cluster buses joined by the
-:mod:`repro.cluster` inter-cluster network.
+:mod:`repro.cluster` inter-cluster network.  Replay-driving commands
+(and ``verify``) accept ``--interconnect`` to swap the coherence
+transport between the snooping bus and the home-node directory
+(``docs/INTERCONNECT.md``); ``repro protocols --spec NAME
+--interconnect directory`` renders the derived directory table.
 
 Global ``-v``/``-vv`` and ``-q`` control library logging (the
 :mod:`repro.obs.log` hierarchy); they go before the subcommand.
@@ -69,6 +73,7 @@ from repro.core.config import (
     OptimizationConfig,
     SimulationConfig,
 )
+from repro.core.interconnect import interconnect_names, is_interconnect_registered
 from repro.core.protocol import get_protocol, is_registered, protocol_names
 from repro.core.replay import replay
 from repro.machine.compiler import compile_program
@@ -105,6 +110,7 @@ def _sim_config(args) -> SimulationConfig:
         bus=BusConfig(width_words=args.bus_width),
         opts=opts,
         protocol=args.protocol,
+        interconnect=getattr(args, "interconnect", "bus"),
     )
     return _apply_clusters(config, args)
 
@@ -136,6 +142,9 @@ def _add_cache_options(
                                  "(see `repro protocols`)")
     parser.add_argument("--no-opt", action="store_true",
                         help="demote DW/ER/RP/RI to plain reads and writes")
+    parser.add_argument("--interconnect", default="bus",
+                        help="registered interconnect backend "
+                             "(see `repro protocols`; default bus)")
 
 
 def _add_cluster_options(parser: argparse.ArgumentParser) -> None:
@@ -318,6 +327,7 @@ def cmd_bench(args) -> int:
             args.assert_overhead if args.assert_overhead is not None else 0.95
         ),
         clusters=args.clusters,
+        interconnect=args.interconnect,
     )
     print(bench.format_report(report))
     path = bench.write_report(report, args.output)
@@ -577,6 +587,11 @@ def cmd_protocols(args) -> int:
             print(f"error: {error.args[0]}", file=sys.stderr)
             return 2
         print(spec.render_table())
+        if getattr(args, "interconnect", "bus") == "directory":
+            from repro.core.protocol import build_directory_spec
+
+            print()
+            print(build_directory_spec(spec).render_table())
         print()
         print(spec.description)
         return 0
@@ -628,7 +643,10 @@ def cmd_compare(args) -> int:
     opts = OptimizationConfig.none() if args.no_opt else OptimizationConfig.all()
     base = _apply_clusters(
         SimulationConfig(
-            cache=cache, bus=BusConfig(width_words=args.bus_width), opts=opts
+            cache=cache,
+            bus=BusConfig(width_words=args.bus_width),
+            opts=opts,
+            interconnect=getattr(args, "interconnect", "bus"),
         ),
         args,
     )
@@ -705,6 +723,7 @@ def cmd_verify(args) -> int:
                     n_blocks=args.blocks,
                     block_words=args.words,
                     max_states=args.max_states,
+                    interconnect=args.interconnect or "bus",
                 )
                 for name in names:
                     result = check_protocol(name, options)
@@ -718,6 +737,7 @@ def cmd_verify(args) -> int:
                     refs_per_case=args.refs_per_case,
                     cluster_counts=cluster_counts,
                     protocols=names if args.protocol else None,
+                    interconnect=args.interconnect,
                 )
                 clean = clean and fuzz_report.clean
     except ValueError as error:
@@ -856,6 +876,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--clusters", type=int, default=2,
                               help="cluster count for the clustered-replay "
                                    "section (default 2)")
+    bench_parser.add_argument("--interconnect", default="bus",
+                              help="interconnect backend the replay "
+                                   "measurements run under (default bus)")
     bench_parser.add_argument("--compare", action="store_true",
                               help="diff this run against the same-host "
                                    "bench history (noise-aware threshold) "
@@ -998,6 +1021,10 @@ def build_parser() -> argparse.ArgumentParser:
     protocols_parser.add_argument("--spec", metavar="NAME",
                                   help="render one protocol's transition "
                                        "table instead of the listing")
+    protocols_parser.add_argument("--interconnect", default="bus",
+                                  help="with --spec, 'directory' also "
+                                       "renders the derived home-node "
+                                       "directory table (default bus)")
     protocols_parser.set_defaults(handler=cmd_protocols)
 
     compare_parser = commands.add_parser(
@@ -1071,6 +1098,11 @@ def build_parser() -> argparse.ArgumentParser:
                                metavar="K,K,...",
                                help="cluster counts the fuzzer cross-checks "
                                     "(default 1,2)")
+    verify_parser.add_argument("--interconnect", default=None,
+                               help="force one interconnect backend in "
+                                    "both the model check and the fuzzer "
+                                    "(default: check the bus, rotate the "
+                                    "fuzz variants)")
     verify_parser.add_argument("--demo-broken", action="store_true",
                                help="model-check a deliberately broken pim "
                                     "variant and print its counterexample "
@@ -1090,6 +1122,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     configure_logging(args.verbose, args.quiet)
+    # Every subcommand that takes --interconnect shares one friendly
+    # unknown-name error (mirrors the unknown-protocol message).
+    backend = getattr(args, "interconnect", None)
+    if backend is not None and not is_interconnect_registered(backend):
+        print(f"error: unknown interconnect {backend!r} "
+              f"(choose from {', '.join(interconnect_names())})",
+              file=sys.stderr)
+        return 2
     return args.handler(args)
 
 

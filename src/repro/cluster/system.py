@@ -133,6 +133,7 @@ class ClusterCacheSystem(PIMCacheSystem):
         home_of = self.config.cluster.home_of
         my_cluster = self.cluster_index
         network = self.network
+        stats = self.stats
         pattern_counts = self.stats.pattern_counts
         pe_cycles = self._pe_cycles
         fetch_forward = network.fetch_forward
@@ -156,6 +157,10 @@ class ClusterCacheSystem(PIMCacheSystem):
                     )
                     writes0 = pattern_counts[_WRITE_THROUGH]
                     invals0 = pattern_counts[_INVALIDATION]
+                    dir0 = (
+                        stats.directory_forwards
+                        + stats.directory_invalidations
+                    )
                     result = _handler(pe, sop, area, address, block, value, flags)
                     if result[0] == BLOCKED:
                         return result
@@ -166,7 +171,15 @@ class ClusterCacheSystem(PIMCacheSystem):
                     )
                     writes = pattern_counts[_WRITE_THROUGH] - writes0
                     invals = pattern_counts[_INVALIDATION] - invals0
-                    if not (fetches or writes or invals):
+                    # Each third-party message the home-node directory
+                    # sent for a remote-homed block also crosses the
+                    # ring (zero under the bus backend).
+                    dir_msgs = (
+                        stats.directory_forwards
+                        + stats.directory_invalidations
+                        - dir0
+                    )
+                    if not (fetches or writes or invals or dir_msgs):
                         return result
                     now = pe_cycles[pe]
                     stall = 0
@@ -174,7 +187,7 @@ class ClusterCacheSystem(PIMCacheSystem):
                         stall += fetch_forward(now + stall, home)
                     for _ in range(writes):
                         stall += write_forward(now + stall, home)
-                    for _ in range(invals):
+                    for _ in range(invals + dir_msgs):
                         stall += inval_forward(now + stall, home)
                     pe_cycles[pe] = now + stall
                     probe = self._probe
@@ -183,7 +196,8 @@ class ClusterCacheSystem(PIMCacheSystem):
                             EventKind.NETWORK, now + stall, pe, sop, area,
                             address,
                             f"forward->c{home} "
-                            f"f={fetches} w={writes} i={invals}",
+                            f"f={fetches} w={writes} i={invals}"
+                            + (f" d={dir_msgs}" if dir_msgs else ""),
                             stall,
                         )
                     return result

@@ -304,6 +304,13 @@ class SimulationConfig:
     #: machine, and the inter-cluster network's timing.  The default
     #: (one cluster) is the flat single-bus model of Section 4.2.
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    #: Interconnect backend resolving bus-visible transactions —
+    #: validated against :mod:`repro.core.interconnect` at construction.
+    #: ``"bus"`` is the paper's snooping broadcast bus; ``"directory"``
+    #: resolves requests through a home-node directory (sharer bitmasks,
+    #: owner tracking), charging ``cluster.hop_cycles`` of indirection
+    #: per third-party message.
+    interconnect: str = "bus"
 
     def __post_init__(self) -> None:
         if not is_registered(self.protocol):
@@ -311,6 +318,19 @@ class SimulationConfig:
             raise ValueError(
                 f"unknown protocol {self.protocol!r}; "
                 f"registered protocols: {known}"
+            )
+        # Imported late: repro.core.interconnect imports the protocol
+        # package, which this module also imports at top level.
+        from repro.core.interconnect import (
+            interconnect_names,
+            is_interconnect_registered,
+        )
+
+        if not is_interconnect_registered(self.interconnect):
+            known = ", ".join(interconnect_names())
+            raise ValueError(
+                f"unknown interconnect {self.interconnect!r}; "
+                f"registered interconnects: {known}"
             )
         if self.lock_entries < 1:
             raise ValueError(f"lock_entries must be >= 1, got {self.lock_entries}")
@@ -322,6 +342,10 @@ class SimulationConfig:
     def with_cache(self, cache: CacheConfig) -> "SimulationConfig":
         """Copy of this config with a different cache geometry."""
         return replace(self, cache=cache)
+
+    def with_interconnect(self, interconnect: str) -> "SimulationConfig":
+        """Copy of this config on a different interconnect backend."""
+        return replace(self, interconnect=interconnect)
 
     def with_clusters(self, n_clusters: int, **kwargs) -> "SimulationConfig":
         """Copy of this config partitioned into *n_clusters* clusters.

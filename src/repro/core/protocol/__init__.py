@@ -4,11 +4,23 @@
 :class:`ProtocolSpec` transition tables;
 :mod:`repro.core.protocol.registry` holds the named registry and the
 five built-in protocols (``pim``, ``illinois``, ``write_through``,
-``write_update``, ``write_once``).  This package depends only on
+``write_update``, ``write_once``);
+:mod:`repro.core.protocol.directory` derives home-node directory tables
+(sharer bitmasks, owner tracking, transient states) from any spec for
+the directory interconnect.  This package depends only on
 :mod:`repro.core.states` so that config, system and replay can all
 import it without cycles.
 """
 
+from repro.core.protocol.directory import (
+    DirAction,
+    DirectoryEntry,
+    DirectorySpec,
+    DirRequest,
+    DirRule,
+    DirState,
+    build_directory_spec,
+)
 from repro.core.protocol.registry import (
     ILLINOIS,
     PIM,
@@ -34,10 +46,17 @@ __all__ = [
     "WRITE_ONCE",
     "WRITE_THROUGH",
     "WRITE_UPDATE",
+    "DirAction",
+    "DirectoryEntry",
+    "DirectorySpec",
+    "DirRequest",
+    "DirRule",
+    "DirState",
     "ProtocolSpec",
     "RemoteAction",
     "StoreRule",
     "SupplierRule",
+    "build_directory_spec",
     "get_protocol",
     "is_registered",
     "protocol_names",

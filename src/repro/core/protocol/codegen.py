@@ -64,6 +64,16 @@ reference and mirrors every ``insert``/``remove``/``flush`` into it, so
 handler-driven residency changes (fills, evictions, invalidations,
 purges) are visible to the next probe.
 
+The pluggable interconnect needs no kernel specialization: every cycle
+a backend charges lives behind the handlers' ``system._bus`` binding
+(:mod:`repro.core.interconnect`), which the slow path reaches through
+the same dispatch table the interpreted kernel uses, and the only
+residency change the fast paths make without a handler — the inline
+read-purge — notifies the home-node directory through the same
+``system._drop_holder`` hook the interpreted path calls.  A generated
+kernel is therefore bit-identical to the interpreted one under either
+backend, which the differential oracle checks on every fuzz case.
+
 Kernels are emitted as Python source, ``compile()``d once at
 registration, and cached by spec name (:func:`get_kernel`).  The module
 itself needs no numpy — the kernel receives the module as an argument —

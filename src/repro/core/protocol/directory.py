@@ -1,0 +1,441 @@
+"""Directory-protocol tables derived from snooping :class:`ProtocolSpec`s.
+
+A snooping bus resolves every transaction by broadcast: all caches see
+the request in the same cycle, so the protocol needs no per-block global
+state.  A home-node directory replaces the broadcast with point-to-point
+messages, and the home node must therefore *remember*, per block, what
+the broadcast would have discovered: whether copies exist, which cache
+owns the (possibly dirty) master copy, and which caches share it.
+
+This module expresses that bookkeeping in the same table-driven idiom as
+:class:`~repro.core.protocol.spec.ProtocolSpec` (following the LOCKE
+specification tables and BlackParrot's BedRock directory family):
+
+* :class:`DirState` — the home node's stable per-block states
+  (I/S/E/M plus O, the directory image of the paper's SM
+  "shared-modified supplier keeps ownership" state);
+* :class:`DirRequest` — the request kinds the cache controller issues
+  to the home node (one per bus call site in
+  :class:`~repro.core.system.PIMCacheSystem`);
+* :class:`DirRule` — one row of the directory table: the named
+  *transient* state the entry occupies while the transaction is in
+  flight, the point-to-point actions the home node performs (forward to
+  owner, invalidate sharers, …), and the predicted stable state/owner
+  when the transaction completes.
+
+:func:`build_directory_spec` derives the full table for any registered
+cache protocol from its store/supplier rules and FI-copyback policy, so
+the directory family tracks the snooping family automatically — a new
+``ProtocolSpec`` gets its directory tables for free (and the coverage
+test in ``tests/test_directory_spec.py`` holds every registered protocol
+to that).
+
+The directory can never observe a *silent* store (an EC copy upgrading
+to EM without bus traffic), so — exactly as in real MESI directories —
+an ``E`` entry means "one copy, possibly silently dirtied by its owner";
+the home node learns the truth the next time it handles the block.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.core.states import CacheState
+from repro.core.protocol.spec import ProtocolSpec, RemoteAction
+
+__all__ = [
+    "DIR_REQUEST_NAMES",
+    "DirAction",
+    "DirRequest",
+    "DirRule",
+    "DirState",
+    "DirectoryEntry",
+    "DirectorySpec",
+    "NEXT_EXCLUSIVE",
+    "NEXT_RESIDENT",
+    "build_directory_spec",
+]
+
+
+class DirState(enum.IntEnum):
+    """Stable states of one home-node directory entry."""
+
+    I = 0  #: no cached copy anywhere
+    S = 1  #: one or more clean shared copies, memory up to date
+    E = 2  #: exactly one copy, clean at grant time (owner may dirty it silently)
+    M = 3  #: exactly one copy, dirty; owner carries copy-back duty
+    O = 4  #: dirty owner plus clean sharers (the SM supplier-retention state)
+
+
+class DirRequest(enum.IntEnum):
+    """Request kinds the cache controller sends to the home node.
+
+    Each maps onto one bus call site of the snooping controller, so the
+    directory backend slots in under the existing handlers without
+    changing what a transaction *means* — only how it is resolved.
+    """
+
+    CTRL = 0  #: control-only broadcast (lock LH/UL, victim drain): no entry change
+    GETS = 1  #: read miss — requester ends with a shared copy
+    GETS_NA = 2  #: read without allocation (RP through-read, no copy retained)
+    GETM = 3  #: exclusive fetch (write miss, LR/RI/ER fetch) — requester owns
+    GETM_NA = 4  #: fetch-and-consume (RP cache-to-cache) — all copies die
+    UPGR = 5  #: upgrade in place (invalidation hit) — requester already holds
+    WT = 6  #: write one word through to home memory (through-store)
+
+
+DIR_REQUEST_NAMES: Tuple[str, ...] = tuple(r.name for r in DirRequest)
+
+
+class DirAction(enum.Enum):
+    """Point-to-point messages the home node issues for one request."""
+
+    MEM_FETCH = "mem-fetch"  #: read the block from home memory
+    FWD_OWNER = "fwd-owner"  #: forward the request to the owning cache
+    FWD_SHARER = "fwd-sharer"  #: forward to one sharer (cache-to-cache supply)
+    OWNER_COPYBACK = "owner-copyback"  #: owner's dirty data copies back home
+    INVAL_SHARERS = "inval-sharers"  #: invalidate every non-supplier sharer
+    UPDATE_SHARERS = "update-sharers"  #: patch every sharer in place (broadcast write)
+    DATA_TO_REQ = "data-to-req"  #: data response closes the transaction
+    ACK_TO_REQ = "ack-to-req"  #: ack response closes the transaction
+
+
+#: ``next_state`` token: the requester ends exclusive — E or M depending
+#: on whether the granted data was dirty (resolved from the filled copy).
+NEXT_EXCLUSIVE = "excl"
+#: ``next_state`` token: recomputed from the surviving copies (used where
+#: the outcome depends on which sharers the requester's own copy was).
+NEXT_RESIDENT = "resid"
+
+NextState = Union[DirState, str]
+
+#: Actions that are *forwards*: one point-to-point message to a third
+#: cache, charged one network hop by the directory interconnect.
+FORWARD_ACTIONS = (
+    DirAction.FWD_OWNER,
+    DirAction.FWD_SHARER,
+    DirAction.OWNER_COPYBACK,
+)
+
+
+@dataclass(frozen=True)
+class DirRule:
+    """One row of the directory table: ``(state, request) -> rule``.
+
+    ``transient`` names the in-flight state the entry occupies between
+    issue and completion (the BedRock-style ``IS_D``/``MO_F`` naming:
+    from-state, to-state, then what the entry is waiting on — ``D`` data
+    from memory, ``F`` a forwarded supply, ``A`` invalidation acks,
+    ``C`` a copyback, ``U`` update acks, ``K`` a bare ack).
+
+    ``owner`` is the predicted owner policy at completion: ``"none"``,
+    ``"req"`` (the requester), ``"keep"`` (unchanged), or ``"resid"``
+    (recomputed from residency, no prediction).  The model checker holds
+    the resolved entry to these predictions on every transaction.
+    """
+
+    transient: str
+    actions: Tuple[DirAction, ...]
+    next_state: NextState
+    owner: str = "none"
+
+
+@dataclass
+class DirectoryEntry:
+    """One home-node entry: stable state, owner, sharer bitmask.
+
+    ``sharers`` is a PE bitmask (bit *p* set when PE *p* holds a copy);
+    ``owner`` is -1 when no single cache carries copy-back duty.
+    ``transient`` is the in-flight rule name while a transaction is
+    being resolved, ``None`` between transactions.
+    """
+
+    __slots__ = ("state", "owner", "sharers", "transient")
+
+    def __init__(
+        self,
+        state: DirState = DirState.I,
+        owner: int = -1,
+        sharers: int = 0,
+        transient: Optional[str] = None,
+    ):
+        self.state = state
+        self.owner = owner
+        self.sharers = sharers
+        self.transient = transient
+
+    def sharer_list(self) -> Tuple[int, ...]:
+        out = []
+        mask = self.sharers
+        pe = 0
+        while mask:
+            if mask & 1:
+                out.append(pe)
+            mask >>= 1
+            pe += 1
+        return tuple(out)
+
+    def __repr__(self) -> str:
+        pending = f", transient={self.transient!r}" if self.transient else ""
+        return (
+            f"DirectoryEntry({self.state.name}, owner={self.owner}, "
+            f"sharers={list(self.sharer_list())}{pending})"
+        )
+
+
+@dataclass(frozen=True)
+class DirectorySpec:
+    """The complete directory table for one cache protocol."""
+
+    name: str
+    #: Name of the cache-side :class:`ProtocolSpec` this was derived from.
+    protocol: str
+    title: str
+    description: str
+    #: Stable states reachable under this protocol (O only when the
+    #: cache protocol can leave a dirty supplier in SM).
+    states: Tuple[DirState, ...] = ()
+    rows: Mapping[Tuple[DirState, DirRequest], DirRule] = field(
+        default_factory=dict
+    )
+
+    def rule(self, state: DirState, request: DirRequest) -> Optional[DirRule]:
+        return self.rows.get((state, request))
+
+    def transient_names(self) -> Tuple[str, ...]:
+        return tuple(sorted({rule.transient for rule in self.rows.values()}))
+
+    # -- documentation rendering (the LOCKE-table style of
+    #    ProtocolSpec.render_table) --------------------------------------
+
+    def transition_rows(self):
+        """Rows: (state, request, transient, home-node actions, next, owner)."""
+        rows = []
+        for (state, request), rule in sorted(self.rows.items()):
+            actions = ", ".join(action.value for action in rule.actions)
+            if rule.next_state is NEXT_EXCLUSIVE or rule.next_state == NEXT_EXCLUSIVE:
+                next_name = "E|M"
+            elif rule.next_state == NEXT_RESIDENT:
+                next_name = "resid"
+            else:
+                next_name = rule.next_state.name
+            rows.append((
+                state.name,
+                request.name,
+                rule.transient,
+                actions,
+                next_name,
+                rule.owner,
+            ))
+        return rows
+
+    def render_table(self) -> str:
+        """Aligned ASCII directory table, one row per (state, request)."""
+        headers = (
+            "state", "request", "transient", "home-node actions", "next",
+            "owner",
+        )
+        rows = [tuple(str(c) for c in row) for row in self.transition_rows()]
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in rows))
+            for i in range(len(headers))
+        ]
+        lines = [
+            f"{self.title} ({self.name})",
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append(
+            "next: E|M = exclusive per the granted copy; resid = recomputed "
+            "from surviving copies.  Each forward/invalidate is one network "
+            "hop of indirection on top of the base pattern cost."
+        )
+        return "\n".join(lines)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "protocol": self.protocol,
+            "title": self.title,
+            "states": [state.name for state in self.states],
+            "rows": len(self.rows),
+            "transients": list(self.transient_names()),
+            "description": self.description,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Derivation from a cache-side ProtocolSpec.
+
+#: Directory state -> the owning cache's line state when the entry is
+#: stable (used to look up the supplier rule the forward will trigger).
+_OWNER_LINE = {
+    DirState.E: CacheState.EC,
+    DirState.M: CacheState.EM,
+    DirState.O: CacheState.SM,
+}
+
+_DIRTY_LINES = (CacheState.SM, CacheState.EM)
+
+
+def _dir_state_of(line_state: CacheState) -> DirState:
+    """Directory image of a supplier's post-transfer line state."""
+    if line_state is CacheState.EM:
+        return DirState.M
+    if line_state is CacheState.SM:
+        return DirState.O
+    if line_state is CacheState.EC:
+        return DirState.E
+    return DirState.S
+
+
+def build_directory_spec(spec: ProtocolSpec) -> DirectorySpec:
+    """Derive the home-node directory table for one cache protocol.
+
+    Every variant point comes from the cache spec: the supplier table
+    decides what a forwarded GETS leaves behind (PIM's SM retention
+    becomes the O state; Illinois' copyback collapses to S), the
+    FI-copyback flag decides whether an exclusive fetch flushes the
+    dying dirty copy home, and the store table's remote action decides
+    whether a through-store invalidates or updates the sharers.
+    """
+    supplier = spec.supplier_rules()
+    fi_copyback = spec.fetch_inval_copyback
+    update_family = any(
+        rule.remote is RemoteAction.UPDATE for rule in spec.store.values()
+    )
+    # SM (hence directory O) is reachable only when some rule can leave a
+    # copy in SM: supplier retention (the paper's protocol) or a store row.
+    sm_reachable = any(
+        next_state is CacheState.SM for next_state, _ in supplier
+    ) or any(
+        rule.next_state is CacheState.SM for rule in spec.store.values()
+    )
+    owned_states = (
+        (DirState.E, DirState.M, DirState.O)
+        if sm_reachable
+        else (DirState.E, DirState.M)
+    )
+    states = (DirState.I, DirState.S) + owned_states
+
+    rows: Dict[Tuple[DirState, DirRequest], DirRule] = {}
+
+    def add(state, request, rule):
+        rows[(state, request)] = rule
+
+    # -- GETS: read miss; requester ends with a copy --------------------
+    add(DirState.I, DirRequest.GETS, DirRule(
+        "IE_D", (DirAction.MEM_FETCH, DirAction.DATA_TO_REQ),
+        DirState.E, owner="req",
+    ))
+    add(DirState.S, DirRequest.GETS, DirRule(
+        "SS_F", (DirAction.FWD_SHARER, DirAction.DATA_TO_REQ),
+        DirState.S, owner="none",
+    ))
+    for state in owned_states:
+        next_line, copyback = supplier[_OWNER_LINE[state]]
+        next_state = _dir_state_of(next_line)
+        actions = [DirAction.FWD_OWNER]
+        suffix = "F"
+        if copyback and _OWNER_LINE[state] in _DIRTY_LINES:
+            actions.append(DirAction.OWNER_COPYBACK)
+            suffix += "C"
+        actions.append(DirAction.DATA_TO_REQ)
+        add(state, DirRequest.GETS, DirRule(
+            f"{state.name}{next_state.name}_{suffix}",
+            tuple(actions),
+            next_state,
+            owner="keep" if next_state in (DirState.M, DirState.O) else "none",
+        ))
+
+    # -- GETS_NA: RP through-read, no copy anywhere before or after -----
+    add(DirState.I, DirRequest.GETS_NA, DirRule(
+        "II_D", (DirAction.MEM_FETCH, DirAction.DATA_TO_REQ),
+        DirState.I, owner="none",
+    ))
+
+    # -- GETM / GETM_NA: exclusive fetch; every other copy dies ---------
+    def exclusive_rows(request: DirRequest, target: NextState, owner: str,
+                       tgt: str):
+        add(DirState.I, request, DirRule(
+            f"I{tgt}_D", (DirAction.MEM_FETCH, DirAction.DATA_TO_REQ),
+            target, owner=owner,
+        ))
+        add(DirState.S, request, DirRule(
+            f"S{tgt}_FA",
+            (DirAction.FWD_SHARER, DirAction.INVAL_SHARERS,
+             DirAction.DATA_TO_REQ),
+            target, owner=owner,
+        ))
+        for state in owned_states:
+            dirty = _OWNER_LINE[state] in _DIRTY_LINES
+            actions = [DirAction.FWD_OWNER]
+            suffix = "F"
+            if dirty and fi_copyback:
+                actions.append(DirAction.OWNER_COPYBACK)
+                suffix += "C"
+            if state is DirState.O:
+                actions.append(DirAction.INVAL_SHARERS)
+                suffix += "A"
+            actions.append(DirAction.DATA_TO_REQ)
+            add(state, request, DirRule(
+                f"{state.name}{tgt}_{suffix}", tuple(actions),
+                target, owner=owner,
+            ))
+
+    exclusive_rows(DirRequest.GETM, NEXT_EXCLUSIVE, "req", "X")
+    # GETM_NA can never see an I entry (an RP cache-to-cache consume
+    # requires a remote copy), so drop that row after generating.
+    exclusive_rows(DirRequest.GETM_NA, DirState.I, "none", "I")
+    del rows[(DirState.I, DirRequest.GETM_NA)]
+
+    # -- UPGR: requester already holds a copy; sharers invalidated ------
+    for state in (DirState.S,) + owned_states:
+        add(state, DirRequest.UPGR, DirRule(
+            f"{state.name}X_A",
+            (DirAction.INVAL_SHARERS, DirAction.ACK_TO_REQ),
+            NEXT_EXCLUSIVE, owner="req",
+        ))
+
+    # -- WT: one word written through to home memory --------------------
+    add(DirState.I, DirRequest.WT, DirRule(
+        "Iw_K", (DirAction.ACK_TO_REQ,), DirState.I, owner="none",
+    ))
+    if update_family:
+        for state in (DirState.S,) + owned_states:
+            add(state, DirRequest.WT, DirRule(
+                f"{state.name}w_U",
+                (DirAction.UPDATE_SHARERS, DirAction.ACK_TO_REQ),
+                state, owner="none" if state is DirState.S else "keep",
+            ))
+    else:
+        add(DirState.S, DirRequest.WT, DirRule(
+            "Sw_A", (DirAction.INVAL_SHARERS, DirAction.ACK_TO_REQ),
+            NEXT_RESIDENT, owner="resid",
+        ))
+        for state in owned_states:
+            dirty = _OWNER_LINE[state] in _DIRTY_LINES
+            actions = (
+                (DirAction.OWNER_COPYBACK,) if dirty else ()
+            ) + (DirAction.INVAL_SHARERS, DirAction.ACK_TO_REQ)
+            add(state, DirRequest.WT, DirRule(
+                f"{state.name}w_{'CA' if dirty else 'A'}",
+                actions, NEXT_RESIDENT, owner="resid",
+            ))
+
+    return DirectorySpec(
+        name=f"{spec.name}_dir",
+        protocol=spec.name,
+        title=f"{spec.title} — home-node directory",
+        description=(
+            f"Directory table derived from the {spec.name!r} snooping "
+            "spec: forwards replace broadcasts, sharer bitmasks replace "
+            "snoop responses."
+        ),
+        states=states,
+        rows=rows,
+    )

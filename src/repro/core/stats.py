@@ -52,6 +52,10 @@ class SystemStats:
         "swap_ins",
         "swap_outs",
         "c2c_transfers",
+        "directory_transactions",
+        "directory_forwards",
+        "directory_invalidations",
+        "directory_indirection_cycles",
         "memory_busy_cycles",
         "bus_wait_cycles",
         "lock_spin_cycles",
@@ -93,6 +97,16 @@ class SystemStats:
         self.swap_ins = 0
         self.swap_outs = 0
         self.c2c_transfers = 0
+        # Home-node directory interconnect (zero under the snooping bus).
+        #: Transactions resolved by a home-node directory.
+        self.directory_transactions = 0
+        #: Point-to-point forwards (owner/sharer supply, copybacks).
+        self.directory_forwards = 0
+        #: Per-sharer invalidation/update messages.
+        self.directory_invalidations = 0
+        #: Extra PE cycles of directory indirection (hop cost per
+        #: third-party message) — its own cycle-ledger bucket.
+        self.directory_indirection_cycles = 0
         #: Cycles the shared-memory modules spend servicing requests —
         #: the figure the SM state is designed to reduce (Section 3.1).
         self.memory_busy_cycles = 0
@@ -136,6 +150,10 @@ class SystemStats:
         "swap_ins",
         "swap_outs",
         "c2c_transfers",
+        "directory_transactions",
+        "directory_forwards",
+        "directory_invalidations",
+        "directory_indirection_cycles",
         "memory_busy_cycles",
         "bus_wait_cycles",
         "lock_spin_cycles",
@@ -354,6 +372,10 @@ class SystemStats:
             "swap_ins": self.swap_ins,
             "swap_outs": self.swap_outs,
             "c2c_transfers": self.c2c_transfers,
+            "directory_transactions": self.directory_transactions,
+            "directory_forwards": self.directory_forwards,
+            "directory_invalidations": self.directory_invalidations,
+            "directory_indirection_cycles": self.directory_indirection_cycles,
             "memory_busy_cycles": self.memory_busy_cycles,
             "bus_wait_cycles": self.bus_wait_cycles,
             "lock_spin_cycles": self.lock_spin_cycles,

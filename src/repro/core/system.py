@@ -40,6 +40,15 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.cache import Cache
 from repro.core.config import SimulationConfig
+from repro.core.interconnect import (
+    REQ_GETM,
+    REQ_GETM_NA,
+    REQ_GETS,
+    REQ_GETS_NA,
+    REQ_UPGR,
+    REQ_WT,
+    build_interconnect,
+)
 from repro.core.lock_directory import LockDirectory
 from repro.core.protocol import RemoteAction, get_protocol
 from repro.core.states import (
@@ -117,7 +126,9 @@ class PIMCacheSystem:
         "_op_table",
         "_hits",
         "_pe_cycles",
-        "bus_free_at",
+        "interconnect",
+        "_bus",
+        "_dir",
         "_probe",
         "_base_op_table",
     )
@@ -187,8 +198,16 @@ class PIMCacheSystem:
         self._pattern_cost = [
             config.bus.pattern_cycles(p, self._block_words) for p in BusPattern
         ]
-        #: Global bus timeline: the cycle at which the bus next frees up.
-        self.bus_free_at = 0
+        #: Pluggable interconnect backend (snooping bus or home-node
+        #: directory).  ``_bus`` aliases its transact method so the hot
+        #: handlers pay one call, no attribute hop; ``_dir`` is the
+        #: backend when it tracks residency (directory) else None, so
+        #: the bus path never pays the note_* hooks.
+        self.interconnect = build_interconnect(config.interconnect, self)
+        self._bus = self.interconnect.transact
+        self._dir = (
+            self.interconnect if self.interconnect.tracks_residency else None
+        )
         # Handler dispatch, indexed ``_op_table[op][area]``.  Demotion of
         # optimized commands the controller does not honour is folded into
         # the table (the plain R/W handler is installed directly), so the
@@ -335,6 +354,8 @@ class PIMCacheSystem:
                         self._writeback(block, line)
             cache.flush()
         self._holders.clear()
+        if self._dir is not None:
+            self._dir.note_flush()
         # Locks are architecturally separate from the cache directory, but
         # a flush happens around stop-and-copy GC: the heap has been
         # relocated, so any held lock addresses to the old image are dead.
@@ -410,27 +431,23 @@ class PIMCacheSystem:
                     f"word {address:#x}: PE{pe}'s lock directory holds it, "
                     "but the locked-word map has no matching entry"
                 )
+        # Backend-specific invariants (the home-node directory checks its
+        # entries against actual cache residency; the bus has none).
+        self.interconnect.check()
 
     # ------------------------------------------------------------------
-    # Bus and bookkeeping helpers
+    # Interconnect and bookkeeping helpers
     # ------------------------------------------------------------------
 
-    def _bus(self, pe: int, pattern: BusPattern, area: int) -> int:
-        """Charge one bus access pattern and advance the PE/bus clocks."""
-        cycles = self._pattern_cost[pattern]
-        stats = self.stats
-        stats.pattern_counts[pattern] += 1
-        stats.pattern_cycles[pattern] += cycles
-        stats.bus_cycles_by_area[area] += cycles
-        pe_cycles = self._pe_cycles
-        start = pe_cycles[pe] + 1
-        if start < self.bus_free_at:
-            stats.bus_wait_cycles += self.bus_free_at - start
-            start = self.bus_free_at
-        end = start + cycles
-        self.bus_free_at = end
-        pe_cycles[pe] = end
-        return cycles
+    # ``self._bus`` (bound in __init__ to ``self.interconnect.transact``)
+    # charges one bus access pattern and advances the PE/interconnect
+    # clocks; the backends live in :mod:`repro.core.interconnect`.
+
+    @property
+    def bus_free_at(self) -> int:
+        """Cycle at which the shared interconnect next frees up
+        (read-only view of the active backend's timeline)."""
+        return self.interconnect.free_at
 
     def _no_bus(self, pe: int) -> int:
         """Advance the PE clock for a bus-free access (cache hit)."""
@@ -472,6 +489,8 @@ class PIMCacheSystem:
             holders.discard(pe)
             if not holders:
                 del self._holders[block]
+        if self._dir is not None:
+            self._dir.note_drop(block, pe)
 
     def _fill(self, pe: int, block: int, state: CacheState, area: int, data) -> bool:
         """Insert a block, evicting as needed.  Returns True if the victim
@@ -613,7 +632,7 @@ class PIMCacheSystem:
                 if victim_dirty
                 else _SWAP_IN
             )
-        cycles = self._bus(pe, pattern, area)
+        cycles = self._bus(pe, pattern, area, block, REQ_GETS, remotes)
         value = None
         if self.track_data:
             line = self.caches[pe].peek(block)
@@ -657,13 +676,13 @@ class PIMCacheSystem:
                 stats.hits[area][sop] += 1
                 if self.track_data:
                     line.data[address & self._block_mask] = value
+                remotes = self._remote_holders(pe, block)
                 if self._store_remote_update:
                     if self.track_data:
                         offset = address & self._block_mask
-                        for other in self._remote_holders(pe, block):
+                        for other in remotes:
                             self.caches[other].peek(block).data[offset] = value
                 else:
-                    remotes = self._remote_holders(pe, block)
                     self._copyback_dirty_remotes(block, remotes)
                     self._invalidate_remotes(pe, block, remotes)
                 if self.track_data:
@@ -672,16 +691,19 @@ class PIMCacheSystem:
                 if promoted is not None:
                     line.state = promoted
                 stats.memory_busy_cycles += self._mem_cycles
-                cycles = self._bus(pe, BusPattern.WRITE_THROUGH, area)
+                cycles = self._bus(
+                    pe, BusPattern.WRITE_THROUGH, area, block, REQ_WT, remotes
+                )
                 return (cycles, 0, None)
             # Invalidation hit (S/SM under PIM/Illinois): I broadcast.
             stats.hits[area][sop] += 1
-            self._invalidate_remotes(pe, block)
+            remotes = self._remote_holders(pe, block)
+            self._invalidate_remotes(pe, block, remotes)
             line.state = self._store_next[state]
             if self.track_data:
                 line.data[address & self._block_mask] = value
             stats.command_counts[_I] += 1
-            cycles = self._bus(pe, _INVALIDATION, area)
+            cycles = self._bus(pe, _INVALIDATION, area, block, REQ_UPGR, remotes)
             return (cycles, 0, None)
         if not self._store_miss_allocate:
             # Miss without write-allocate (write-once): the word goes
@@ -711,13 +733,13 @@ class PIMCacheSystem:
             self.stats.hits[area][sop] += 1
             if self.track_data:
                 line.data[address & self._block_mask] = value
+        remotes = self._remote_holders(pe, block)
         if self._store_remote_update:
-            for other in self._remote_holders(pe, block):
+            for other in remotes:
                 if self.track_data:
                     remote = self.caches[other].peek(block)
                     remote.data[address & self._block_mask] = value
         else:
-            remotes = self._remote_holders(pe, block)
             self._copyback_dirty_remotes(block, remotes)
             self._invalidate_remotes(pe, block, remotes)
             if line is not None:
@@ -732,7 +754,9 @@ class PIMCacheSystem:
         if self.track_data:
             self.memory[address] = value
         self.stats.memory_busy_cycles += self._mem_cycles
-        cycles = self._bus(pe, BusPattern.WRITE_THROUGH, area)
+        cycles = self._bus(
+            pe, BusPattern.WRITE_THROUGH, area, block, REQ_WT, remotes
+        )
         return (cycles, 0, None)
 
     def _fetch_exclusive(
@@ -774,7 +798,7 @@ class PIMCacheSystem:
                 if victim_dirty
                 else _SWAP_IN
             )
-        return self._bus(pe, pattern, area)
+        return self._bus(pe, pattern, area, block, REQ_GETM, remotes)
 
     def _direct_write(
         self, pe: int, sop: int, area: int, address: int, block: int,
@@ -823,6 +847,10 @@ class PIMCacheSystem:
             base = block << self._block_shift
             data = [self.memory.get(base + i, 0) for i in range(self._block_words)]
         victim_dirty = self._fill(pe, block, CacheState.EM, area, data)
+        if self._dir is not None:
+            # The only bus-free fill: the home node must still learn of
+            # the new exclusive-dirty owner.
+            self._dir.note_exclusive(pe, block)
         if self.track_data:
             self.caches[pe].peek(block).data[address & self._block_mask] = value
         if victim_dirty:
@@ -907,14 +935,14 @@ class PIMCacheSystem:
             self._invalidate_remotes(pe, block, remotes)
             self.stats.supplier_invalidations += 1
             self.stats.c2c_transfers += 1
-            cycles = self._bus(pe, _C2C, area)
+            cycles = self._bus(pe, _C2C, area, block, REQ_GETM_NA, remotes)
             value = data[address & self._block_mask] if self.track_data else None
             return (cycles, 0, value)
         # Miss with no remote copy: read through shared memory, nothing
         # to purge or allocate.
         self.stats.command_counts[_F] += 1
         data = self._memory_read(block)
-        cycles = self._bus(pe, _SWAP_IN, area)
+        cycles = self._bus(pe, _SWAP_IN, area, block, REQ_GETS_NA)
         value = data[address & self._block_mask] if self.track_data else None
         return (cycles, 0, value)
 
@@ -1007,7 +1035,7 @@ class PIMCacheSystem:
             self.stats.lr_bus += 1
             self.stats.command_counts[_I] += 1
             self.stats.command_counts[BusCommand.LK] += 1
-            cycles = self._bus(pe, _INVALIDATION, area)
+            cycles = self._bus(pe, _INVALIDATION, area, block, REQ_UPGR, remotes)
             return (cycles, out_flags, value)
         # Miss: FI + LK.
         self.stats.lr_bus += 1

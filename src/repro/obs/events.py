@@ -21,6 +21,10 @@ happen, not just end-of-run totals:
   (:mod:`repro.cluster`): ``detail`` names the destination cluster and
   the fetch/write/invalidate forwards charged, ``value`` is the cycles
   the issuing PE stalled (queue wait + transit).
+* ``DIRECTORY`` — a home-node directory resolved the transaction with
+  third-party messages (:mod:`repro.core.interconnect`): ``detail``
+  counts the forwards/invalidations charged, ``value`` is the extra
+  indirection cycles added to the issuing PE.
 
 Events are cheap named tuples; :meth:`ProtocolEvent.to_dict` renders the
 JSONL form (see ``docs/OBSERVABILITY.md`` for the schema).
@@ -43,6 +47,7 @@ class EventKind(enum.IntEnum):
     PURGE = 3
     LOCK = 4
     NETWORK = 5
+    DIRECTORY = 6
 
 
 #: Human-readable event-kind names, indexed by ``EventKind`` value.

@@ -10,6 +10,9 @@ trace-event JSON format (the ``traceEvents`` array form), which both
 * pid 1 groups the **processing elements**, one thread row per PE —
   lock busy-wait episodes (LH) are slices, unlock broadcasts (UL) and
   cache-state transitions are instant events on the issuing PE's row;
+  home-node directory indirection (directory interconnect runs only)
+  is a slice on the issuing PE's row covering the extra cycles its
+  third-party messages cost;
 * pid 2 is the **inter-cluster network** (clustered runs only) — each
   remote forward becomes a slice on the issuing PE's row whose duration
   is the stall the network charged, so remote-traffic hot spots line up
@@ -149,6 +152,20 @@ def chrome_trace(
                 "ts": max(0, event.cycle - event.value),
                 "dur": event.value,
                 "pid": 2,
+                "tid": event.pe,
+                "args": args,
+            })
+        elif event.kind == EventKind.DIRECTORY:
+            # Home-node indirection rides on the issuing PE's row: the
+            # slice covers the extra cycles the directory's third-party
+            # messages added to the transaction.
+            trace_events.append({
+                "name": f"directory {event.detail}",
+                "cat": "directory",
+                "ph": "X",
+                "ts": max(0, event.cycle - event.value),
+                "dur": event.value,
+                "pid": 1,
                 "tid": event.pe,
                 "args": args,
             })

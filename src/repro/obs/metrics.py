@@ -383,6 +383,9 @@ def cycle_ledger(
         if cycles:
             entries[f"bus_busy_{pattern.name.lower()}"] = cycles
     entries["lock_spin"] = stats.lock_spin_cycles
+    # Home-node directory indirection (hop cost per third-party
+    # message); identically zero under the snooping bus.
+    entries["directory_indirection"] = stats.directory_indirection_cycles
     entries["network_stall"] = (
         network.stall_cycles if network is not None else 0
     )

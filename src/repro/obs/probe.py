@@ -93,6 +93,11 @@ class ProtocolProbe:
             stats.purges_clean,
             stats.purges_dirty,
             tuple(getattr(stats, name) for name, _ in _LOCK_COUNTERS),
+            (
+                stats.directory_forwards,
+                stats.directory_invalidations,
+                stats.directory_indirection_cycles,
+            ),
         )
 
     def after_access(
@@ -108,6 +113,7 @@ class ProtocolProbe:
             purges_clean,
             purges_dirty,
             locks_before,
+            directory_before,
         ) = self._before
         pe_clock = stats.pe_cycles[pe]
 
@@ -155,6 +161,16 @@ class ProtocolProbe:
                 self._emit(
                     EventKind.LOCK, pe_clock, pe, op, area, address, detail, block
                 )
+
+        fwd_before, inv_before, extra_before = directory_before
+        forwards = stats.directory_forwards - fwd_before
+        invals = stats.directory_invalidations - inv_before
+        extra = stats.directory_indirection_cycles - extra_before
+        if forwards or invals:
+            self._emit(
+                EventKind.DIRECTORY, pe_clock, pe, op, area, address,
+                f"fwd={forwards} inval={invals}", extra,
+            )
 
     # -- internals -------------------------------------------------------
 

@@ -32,6 +32,17 @@ state reached:
   a word is locked by at most one PE, and the bus's locked-word snoop
   map agrees with the per-PE directories in both directions.
 
+With ``interconnect="directory"`` the home-node directory joins the
+checked state: its entries (stable state, owner, sharer mask, transient)
+are part of every snapshot and canonical key, a
+:class:`_TransientWatcher` observer validates every *in-flight*
+micro-step of each transaction (the transient is held for the whole
+flight, the sharer mask only shrinks, and the completion matches the
+table row's predicted next state and owner), and the backend's
+entry-vs-residency agreement check runs as its own invariant family
+(``directory-agreement`` / ``directory-transient`` /
+``directory-table`` violations).
+
 Data values are canonicalized to per-word *freshness* bits (equal to
 the last write or not); the handlers never branch on data, so freshness
 is a sound abstraction and keeps the state space finite.  Violations
@@ -46,6 +57,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import CacheConfig, OptimizationConfig, SimulationConfig
+from repro.core.interconnect import DirectoryProtocolError
 from repro.core.protocol import ProtocolSpec, temporarily_register
 from repro.core.states import (
     DIRTY_STATES,
@@ -88,6 +100,10 @@ class ModelCheckOptions:
     ops: Tuple[Op, ...] = DEFAULT_OPS
     #: Abort (reporting ``complete=False``) past this many states.
     max_states: int = 200_000
+    #: Interconnect backend the checked system runs on ("bus" or
+    #: "directory"); the directory adds its entries and in-flight
+    #: transients to the checked state.
+    interconnect: str = "bus"
 
     def words(self) -> Tuple[int, ...]:
         base = AREA_BASE[self.area]
@@ -154,6 +170,11 @@ class CheckResult:
         bounds = (
             f"{opts.n_pes} PEs, {opts.n_blocks} block(s) x "
             f"{opts.block_words} words, {len(opts.ops)} ops"
+            + (
+                f", {opts.interconnect} interconnect"
+                if opts.interconnect != "bus"
+                else ""
+            )
         )
         if self.clean:
             suffix = "" if self.complete else (
@@ -178,6 +199,7 @@ class CheckResult:
             "n_pes": self.options.n_pes,
             "n_blocks": self.options.n_blocks,
             "block_words": self.options.block_words,
+            "interconnect": self.options.interconnect,
             "ops": [OP_NAMES[op] for op in self.options.ops],
             "counterexample": (
                 self.counterexample.as_dict() if self.counterexample else None
@@ -195,6 +217,18 @@ class CheckResult:
 # to drift (the purge detector below diffs counters within one step).
 
 _Snapshot = Tuple
+
+
+def _directory_state(system: PIMCacheSystem) -> Tuple:
+    """Hashable image of the home-node directory (empty for the bus)."""
+    interconnect = system.interconnect
+    if not interconnect.tracks_residency:
+        return ()
+    return tuple(sorted(
+        (block, int(entry.state), entry.owner, entry.sharers,
+         entry.transient)
+        for block, entry in interconnect.entries.items()
+    ))
 
 
 def _snapshot(system: PIMCacheSystem) -> _Snapshot:
@@ -223,11 +257,12 @@ def _snapshot(system: PIMCacheSystem) -> _Snapshot:
             for directory in system.lock_directories
         ),
         tuple(sorted(system._waiting.items())),
+        _directory_state(system),
     )
 
 
 def _restore(system: PIMCacheSystem, snap: _Snapshot) -> None:
-    caches, memory, locked, directories, waiting = snap
+    caches, memory, locked, directories, waiting, dir_entries = snap
     system._holders.clear()
     for pe, (cache, lines) in enumerate(zip(system.caches, caches)):
         cache.flush()
@@ -243,6 +278,14 @@ def _restore(system: PIMCacheSystem, snap: _Snapshot) -> None:
             addr: LockState(state) for addr, state in entries
         }
     system._waiting = dict(waiting)
+    interconnect = system.interconnect
+    if interconnect.tracks_residency:
+        from repro.core.protocol.directory import DirectoryEntry, DirState
+
+        interconnect.entries = {
+            block: DirectoryEntry(DirState(state), owner, sharers, transient)
+            for block, state, owner, sharers, transient in dir_entries
+        }
 
 
 def _canonical(
@@ -293,6 +336,7 @@ def _canonical(
         ),
         tuple(sorted(system._waiting.items())),
         tuple(sorted(undefined)),
+        _directory_state(system),
     )
 
 
@@ -334,6 +378,19 @@ def _render_state(
             + ", ".join(
                 f"PE{pe} on block {b:#x}"
                 for pe, b in sorted(system._waiting.items())
+            )
+        )
+    dir_entries = _directory_state(system)
+    if dir_entries:
+        from repro.core.protocol.directory import DirState
+
+        lines.append(
+            "home directory: "
+            + "; ".join(
+                f"block {block:#x} {DirState(state).name} "
+                f"owner={owner} sharers={sharers:#b}"
+                + (f" transient={transient}" if transient else "")
+                for block, state, owner, sharers, transient in dir_entries
             )
         )
     return tuple(lines)
@@ -488,6 +545,152 @@ def _check_state(
 
 
 # ---------------------------------------------------------------------------
+# In-flight transient validation (directory interconnect only).
+
+
+class _TransientWatcher:
+    """Observer on a :class:`DirectoryInterconnect`: validates every
+    in-flight micro-step of each transaction against its table row.
+
+    Checked per transaction: the entry holds the row's transient name
+    for the whole flight, the sharer mask only shrinks while in flight,
+    and the completion state/owner match the row's prediction
+    (a concrete :class:`DirState`, ``"excl"`` for E-or-M owned by the
+    requester, or ``"resid"``/zero-sharers for whatever residency
+    resolves to).  Violations are recorded, not raised, so the BFS loop
+    can surface them with the minimal counterexample path.
+    """
+
+    def __init__(self, interconnect):
+        self._interconnect = interconnect
+        self.violations: List[str] = []
+        self._issued: Optional[tuple] = None
+
+    def take(self) -> Optional[str]:
+        if not self.violations:
+            return None
+        detail = self.violations[0]
+        self.violations.clear()
+        self._issued = None
+        return detail
+
+    def _effective_rule(self, block: int, entry, rule):
+        """The row whose predictions the completion must satisfy.
+
+        An entry in E may cover a silently dirtied (EM) line — the one
+        transition invisible to the home node; the controller then acts
+        per the owned-dirty row, so the M row's predictions apply.  The
+        transact fires *after* the handler moved the copies, so the
+        tell is any dirty state on the owner's line (the supplier rule
+        may already have demoted EM to SM).
+        """
+        from repro.core.protocol.directory import DirState
+
+        if entry.state is not DirState.E or entry.owner < 0:
+            return rule
+        interconnect = self._interconnect
+        line = interconnect.system.caches[entry.owner]._lines.get(block)
+        if line is None or line.state not in DIRTY_STATES:
+            return rule
+        for (state, req), row in interconnect._rules.items():
+            if row is rule and state is DirState.E:
+                substitute = interconnect._rules.get((DirState.M, req))
+                if substitute is not None:
+                    return substitute
+        return rule
+
+    def __call__(self, step, pe, block, entry, rule) -> None:
+        from repro.core.protocol.directory import (
+            NEXT_EXCLUSIVE,
+            NEXT_RESIDENT,
+            DirState,
+        )
+
+        if step == "issue":
+            if entry.transient != rule.transient:
+                self.violations.append(
+                    f"block {block:#x}: entry transient {entry.transient!r} "
+                    f"!= row transient {rule.transient!r} at issue"
+                )
+            self._issued = (
+                pe, block, self._effective_rule(block, entry, rule),
+                entry.sharers, entry.owner,
+            )
+            return
+        issued = self._issued
+        if issued is None or issued[1] != block or issued[0] != pe:
+            self.violations.append(
+                f"block {block:#x}: {step} micro-step outside the "
+                "transaction it belongs to"
+            )
+            return
+        _, _, eff_rule, sharers0, owner0 = issued
+        if step != "complete":
+            # forward / copyback / inval / update: still in flight.
+            if entry.transient != rule.transient:
+                self.violations.append(
+                    f"block {block:#x}: transient dropped to "
+                    f"{entry.transient!r} mid-flight ({step})"
+                )
+            if entry.sharers & ~sharers0:
+                self.violations.append(
+                    f"block {block:#x}: sharer mask grew mid-flight "
+                    f"({entry.sharers:#b} from {sharers0:#b})"
+                )
+            return
+        self._issued = None
+        if entry.transient is not None:
+            self.violations.append(
+                f"block {block:#x}: transient {entry.transient!r} "
+                "survived completion"
+            )
+        if not entry.sharers:
+            # The block died (a consumed GETS_NA/GETM_NA): the entry is
+            # about to be deleted, which *is* the I state.
+            if eff_rule.next_state not in (DirState.I, NEXT_RESIDENT):
+                self.violations.append(
+                    f"block {block:#x}: all copies died but the row "
+                    f"predicted {eff_rule.next_state!r}"
+                )
+            return
+        predicted = eff_rule.next_state
+        if predicted == NEXT_RESIDENT:
+            pass
+        elif predicted == NEXT_EXCLUSIVE:
+            if entry.state not in (DirState.E, DirState.M) or entry.owner != pe:
+                self.violations.append(
+                    f"block {block:#x}: row predicted exclusive-to-"
+                    f"requester, completion is {entry.state.name} "
+                    f"owner={entry.owner} (requester PE{pe})"
+                )
+        elif entry.state is not predicted:
+            self.violations.append(
+                f"block {block:#x}: row predicted {predicted.name}, "
+                f"completion is {entry.state.name}"
+            )
+        owner_rule = eff_rule.owner
+        if owner_rule == "req":
+            if entry.owner != pe and predicted != NEXT_RESIDENT:
+                self.violations.append(
+                    f"block {block:#x}: row assigns ownership to the "
+                    f"requester PE{pe}, completion owner={entry.owner}"
+                )
+        elif owner_rule == "none":
+            if entry.owner != -1:
+                self.violations.append(
+                    f"block {block:#x}: row predicts no owner, "
+                    f"completion owner={entry.owner}"
+                )
+        elif owner_rule == "keep":
+            if entry.owner != owner0:
+                self.violations.append(
+                    f"block {block:#x}: row keeps owner {owner0}, "
+                    f"completion owner={entry.owner}"
+                )
+        # "resid": whatever residency resolved to is the prediction.
+
+
+# ---------------------------------------------------------------------------
 # The breadth-first closure.
 
 
@@ -542,8 +745,13 @@ def _check_registered(name: str, opts: ModelCheckOptions) -> CheckResult:
         opts=OptimizationConfig.all(),
         protocol=name,
         track_data=True,
+        interconnect=opts.interconnect,
     )
     system = PIMCacheSystem(config, opts.n_pes)
+    watcher = None
+    if system.interconnect.tracks_residency:
+        watcher = _TransientWatcher(system.interconnect)
+        system.interconnect.observer = watcher
     words = opts.words()
     area = int(opts.area)
     shift = system._block_shift
@@ -584,14 +792,25 @@ def _check_registered(name: str, opts: ModelCheckOptions) -> CheckResult:
                 next_counter += 1
                 value = next_counter
             purges_before = stats.purges_dirty
-            cycles, _, read_value = system.access(
-                pe, op, area, addr, value, 0
-            )
+            violation = None
+            try:
+                cycles, _, read_value = system.access(
+                    pe, op, area, addr, value, 0
+                )
+            except DirectoryProtocolError as exc:
+                # The directory table has no row for a request the
+                # controller issued — a derivation hole, minimal path
+                # attached.
+                violation = Violation("directory-table", str(exc))
+                cycles, read_value = 0, None
             blocked = cycles == BLOCKED
             new_last = last
             new_undefined = set(undefined)
-            violation = None
-            if not blocked:
+            if watcher is not None and violation is None:
+                detail = watcher.take()
+                if detail is not None:
+                    violation = Violation("directory-transient", detail)
+            if violation is None and not blocked:
                 if op in READ_VALUE_OPS and addr not in undefined:
                     expected = last.get(addr, 0)
                     if read_value != expected:
@@ -613,6 +832,11 @@ def _check_registered(name: str, opts: ModelCheckOptions) -> CheckResult:
                     accessed_block=addr >> shift,
                     purged_dirty=stats.purges_dirty > purges_before,
                 )
+            if violation is None:
+                try:
+                    system.interconnect.check()
+                except AssertionError as exc:
+                    violation = Violation("directory-agreement", str(exc))
             if violation is not None:
                 steps_taken = path + ((pe, op, addr),)
                 return CheckResult(

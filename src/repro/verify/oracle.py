@@ -323,7 +323,7 @@ class FuzzReport:
 
 
 def _variants(protocol: str) -> Dict[str, SimulationConfig]:
-    """The three configurations each protocol is fuzzed under."""
+    """The four configurations each protocol is fuzzed under."""
     base = SimulationConfig(protocol=protocol)
     return {
         "base": base,
@@ -333,6 +333,9 @@ def _variants(protocol: str) -> Dict[str, SimulationConfig]:
         ),
         # Every optimized command demoted: the conventional-cache paths.
         "no_opt": base.with_opts(OptimizationConfig.none()),
+        # Home-node directory backend: same protocol, point-to-point
+        # resolution; every divergence oracle must still hold.
+        "directory": base.with_interconnect("directory"),
     }
 
 
@@ -365,11 +368,13 @@ def run_fuzz(
     protocols: Optional[Sequence[str]] = None,
     shrink: bool = True,
     max_shrink_evals: int = 128,
+    interconnect: Optional[str] = None,
 ) -> FuzzReport:
     """Fuzz every replay path until *budget* references have been run.
 
     Cases rotate over every registered protocol (or *protocols*) and the
-    three configuration variants of :func:`_variants`; each case draws a
+    configuration variants of :func:`_variants` (including the
+    directory-interconnect backend); each case draws a
     fresh contract trace from a seed derived deterministically from
     *seed* and the case number, so a report is reproducible from its
     ``(seed, budget)`` alone.  Divergent traces are shrunk (bounded by
@@ -382,6 +387,15 @@ def run_fuzz(
         for protocol in names
         for variant, config in _variants(protocol).items()
     ]
+    if interconnect is not None:
+        # Force every variant onto one backend (the CLI's
+        # ``--interconnect``); the dedicated "directory" variant is
+        # dropped since it would duplicate a forced base.
+        combos = [
+            (protocol, variant, config.with_interconnect(interconnect))
+            for protocol, variant, config in combos
+            if variant != "directory"
+        ]
     report = FuzzReport(
         seed=seed,
         budget=budget,

@@ -395,6 +395,54 @@ def test_verify_rejects_malformed_clusters(capsys):
     assert "--clusters" in capsys.readouterr().err
 
 
+# ---------------------------------------------------------------------------
+# The --interconnect surface.
+
+
+def test_run_on_the_directory_interconnect(capsys):
+    assert main([
+        "run", "pascal", "--scale", "tiny", "--pes", "2",
+        "--interconnect", "directory",
+    ]) == 0
+    assert "bus cycles" in capsys.readouterr().out
+
+
+def test_unknown_interconnect_lists_registered(capsys):
+    assert main([
+        "run", "pascal", "--scale", "tiny", "--interconnect", "crossbar",
+    ]) == 2
+    err = capsys.readouterr().err
+    assert "crossbar" in err and "bus, directory" in err
+
+
+def test_compare_rejects_unknown_interconnect(capsys):
+    assert main([
+        "compare", "--benchmark", "pascal", "--scale", "tiny",
+        "--interconnect", "mesh",
+    ]) == 2
+    err = capsys.readouterr().err
+    assert "mesh" in err and "choose from" in err
+
+
+def test_protocols_spec_renders_directory_table(capsys):
+    assert main([
+        "protocols", "--spec", "pim", "--interconnect", "directory",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "home-node directory (pim_dir)" in out
+    assert "transient" in out and "MO_F" in out
+
+
+def test_verify_on_the_directory_interconnect(capsys):
+    assert main([
+        "verify", "--protocol", "write_through",
+        "--interconnect", "directory",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "directory interconnect" in out
+    assert "clean" in out
+
+
 def test_metrics_table_from_trace(tmp_path, capsys):
     trace_file = tmp_path / "m.trace"
     assert main([

@@ -1,0 +1,104 @@
+"""Model-checking the directory backend (repro.verify.model).
+
+The BFS explores every interleaving with the home-node directory
+resolving the transactions, the in-flight transient watcher validating
+each micro-step against the table row, and the directory-vs-caches
+agreement check running on every reached state.  The negative tests
+corrupt one derived table row and demand the checker produce a
+counterexample of the matching violation family — proof the directory
+obligations are actually being checked, not vacuously true.
+"""
+
+import dataclasses
+
+import pytest
+
+import repro.core.interconnect as interconnect_module
+from repro.core.protocol import protocol_names
+from repro.core.protocol.directory import (
+    DirRequest,
+    DirRule,
+    DirState,
+    build_directory_spec,
+)
+from repro.verify import ModelCheckOptions, check_protocol
+
+DIRECTORY_OPTIONS = ModelCheckOptions(interconnect="directory")
+
+
+@pytest.mark.parametrize("name", protocol_names())
+def test_every_protocol_is_clean_on_the_directory(name):
+    result = check_protocol(name, DIRECTORY_OPTIONS)
+    assert result.clean, result.counterexample
+    assert result.complete
+    assert result.options.interconnect == "directory"
+    assert "directory interconnect" in result.render()
+    assert result.as_dict()["interconnect"] == "directory"
+
+
+def test_directory_state_enlarges_the_state_space():
+    bus = check_protocol("pim", ModelCheckOptions())
+    directory = check_protocol("pim", DIRECTORY_OPTIONS)
+    assert directory.states > bus.states
+
+
+def _corrupted_builder(mutate):
+    """A ``build_directory_spec`` replacement with one row *mutate*\\ d."""
+
+    def build(spec):
+        real = build_directory_spec(spec)
+        return dataclasses.replace(real, rows=mutate(dict(real.rows)))
+
+    return build
+
+
+def test_wrong_next_state_prediction_is_a_transient_violation(monkeypatch):
+    def mutate(rows):
+        rule = rows[(DirState.I, DirRequest.GETS)]
+        # A read miss on an idle block grants the only copy: E, not S.
+        rows[(DirState.I, DirRequest.GETS)] = DirRule(
+            rule.transient, rule.actions, DirState.S, owner=rule.owner
+        )
+        return rows
+
+    monkeypatch.setattr(
+        interconnect_module, "build_directory_spec", _corrupted_builder(mutate)
+    )
+    result = check_protocol("pim", DIRECTORY_OPTIONS)
+    assert not result.clean
+    violation = result.counterexample.violation
+    assert violation.invariant == "directory-transient"
+    assert "row predicted S, completion is E" in violation.detail
+    assert result.counterexample.steps  # a replayable counterexample
+
+
+def test_missing_row_is_a_table_violation(monkeypatch):
+    def mutate(rows):
+        del rows[(DirState.I, DirRequest.GETS)]
+        return rows
+
+    monkeypatch.setattr(
+        interconnect_module, "build_directory_spec", _corrupted_builder(mutate)
+    )
+    result = check_protocol("pim", DIRECTORY_OPTIONS)
+    assert not result.clean
+    violation = result.counterexample.violation
+    assert violation.invariant == "directory-table"
+    assert "no directory row" in violation.detail
+
+
+def test_wrong_owner_prediction_is_caught(monkeypatch):
+    def mutate(rows):
+        rule = rows[(DirState.I, DirRequest.GETM)]
+        # An exclusive grant makes the requester the owner, not nobody.
+        rows[(DirState.I, DirRequest.GETM)] = DirRule(
+            rule.transient, rule.actions, rule.next_state, owner="none"
+        )
+        return rows
+
+    monkeypatch.setattr(
+        interconnect_module, "build_directory_spec", _corrupted_builder(mutate)
+    )
+    result = check_protocol("pim", DIRECTORY_OPTIONS)
+    assert not result.clean
+    assert result.counterexample.violation.invariant == "directory-transient"

@@ -1,0 +1,154 @@
+"""Directory-table derivation (repro.core.protocol.directory).
+
+Every registered cache protocol must derive a complete home-node table
+(:func:`build_directory_spec`): the coverage matrix below is the
+registered-but-uncovered guard — registering a new ``ProtocolSpec``
+without a full directory derivation fails here, not in a fuzz run.
+"""
+
+import pytest
+
+from repro.core.protocol import (
+    build_directory_spec,
+    get_protocol,
+    protocol_names,
+)
+from repro.core.protocol.directory import (
+    DirAction,
+    DirectoryEntry,
+    DirRequest,
+    DirState,
+)
+from repro.core.protocol.spec import RemoteAction
+from repro.core.states import CacheState
+
+ALL_PROTOCOLS = list(protocol_names())
+
+
+def _spec(name):
+    return build_directory_spec(get_protocol(name))
+
+
+# ---------------------------------------------------------------------------
+# Coverage: every request the controller can issue has a row.
+
+
+@pytest.mark.parametrize("name", ALL_PROTOCOLS)
+def test_every_reachable_state_request_pair_has_a_row(name):
+    """The demand matrix of the cache controller's bus call sites.
+
+    GETS/GETM can find the entry in any stable state; GETM_NA needs a
+    remote copy (never I); GETS_NA never finds a copy (only I); UPGR
+    requires the requester to hold a copy (never I); WT can hit
+    anything.  A derivation that misses one of these rows would raise
+    ``DirectoryProtocolError`` at simulation time — this guard catches
+    it at registration granularity instead.
+    """
+    spec = _spec(name)
+    owned = [s for s in spec.states if s not in (DirState.I, DirState.S)]
+    demanded = (
+        [(state, DirRequest.GETS) for state in spec.states]
+        + [(state, DirRequest.GETM) for state in spec.states]
+        + [(state, DirRequest.GETM_NA) for state in spec.states
+           if state is not DirState.I]
+        + [(DirState.I, DirRequest.GETS_NA)]
+        + [(state, DirRequest.UPGR) for state in (DirState.S,) + tuple(owned)]
+        + [(state, DirRequest.WT) for state in spec.states]
+    )
+    missing = [
+        (state.name, request.name)
+        for state, request in demanded
+        if spec.rule(state, request) is None
+    ]
+    assert not missing, f"{spec.name}: uncovered rows {missing}"
+
+
+@pytest.mark.parametrize("name", ALL_PROTOCOLS)
+def test_no_row_outside_the_declared_states(name):
+    spec = _spec(name)
+    for (state, request), rule in spec.rows.items():
+        assert state in spec.states, (state, request, rule)
+
+
+def test_o_state_tracks_sm_reachability():
+    """O (dirty supplier retention) exists exactly for SM-using protocols."""
+    by_name = {name: _spec(name) for name in ALL_PROTOCOLS}
+    assert DirState.O in by_name["pim"].states  # supplier keeps SM
+    assert DirState.O not in by_name["illinois"].states  # copyback to S
+
+
+def test_update_family_patches_sharers_in_place():
+    spec = _spec("write_update")
+    rule = spec.rule(DirState.S, DirRequest.WT)
+    assert DirAction.UPDATE_SHARERS in rule.actions
+    assert rule.next_state is DirState.S
+    inval = _spec("write_through").rule(DirState.S, DirRequest.WT)
+    assert DirAction.INVAL_SHARERS in inval.actions
+
+
+@pytest.mark.parametrize("name", ALL_PROTOCOLS)
+def test_supplier_retention_matches_cache_spec(name):
+    """A forwarded GETS leaves behind what the snooping supplier would."""
+    cache_spec = get_protocol(name)
+    spec = build_directory_spec(cache_spec)
+    if DirState.M not in spec.states:
+        pytest.skip("no dirty-exclusive state under this protocol")
+    rule = spec.rule(DirState.M, DirRequest.GETS)
+    next_line, copyback = cache_spec.supplier_rules()[CacheState.EM]
+    if next_line is CacheState.SM:
+        assert rule.next_state is DirState.O and rule.owner == "keep"
+    else:
+        assert rule.next_state is DirState.S
+    assert (DirAction.OWNER_COPYBACK in rule.actions) == bool(copyback)
+
+
+# ---------------------------------------------------------------------------
+# Rendering and metadata (the LOCKE-table style of ProtocolSpec).
+
+
+@pytest.mark.parametrize("name", ALL_PROTOCOLS)
+def test_render_table_lists_every_row(name):
+    spec = _spec(name)
+    table = spec.render_table()
+    assert spec.name in table
+    for column in ("state", "request", "transient", "next", "owner"):
+        assert column in table
+    for transient in spec.transient_names():
+        assert transient in table
+
+
+@pytest.mark.parametrize("name", ALL_PROTOCOLS)
+def test_transients_are_unique_per_table(name):
+    spec = _spec(name)
+    transients = [rule.transient for rule in spec.rows.values()]
+    assert len(transients) == len(set(transients)), (
+        f"{spec.name}: two rows share a transient name"
+    )
+
+
+def test_summary_shape():
+    summary = _spec("pim").summary()
+    assert summary["name"] == "pim_dir"
+    assert summary["protocol"] == "pim"
+    assert summary["rows"] == len(_spec("pim").rows)
+    assert "O" in summary["states"]
+    assert summary["transients"] == list(_spec("pim").transient_names())
+
+
+# ---------------------------------------------------------------------------
+# Entry mechanics.
+
+
+def test_entry_sharer_list_round_trips():
+    entry = DirectoryEntry(DirState.S, owner=-1, sharers=0b1011)
+    assert entry.sharer_list() == (0, 1, 3)
+    assert "sharers=[0, 1, 3]" in repr(entry)
+    entry.transient = "SS_F"
+    assert "transient='SS_F'" in repr(entry)
+
+
+def test_update_remote_action_detected_from_store_table():
+    spec = get_protocol("write_update")
+    assert any(
+        rule.remote is RemoteAction.UPDATE for rule in spec.store.values()
+    )

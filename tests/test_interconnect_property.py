@@ -1,0 +1,78 @@
+"""Property: without sharing, the directory costs exactly the bus.
+
+A home-node directory only diverges from the broadcast bus when a
+transaction must touch a *third party* — forward to an owner, invalidate
+a sharer.  On a trace where every PE stays inside its own address
+region there are no third parties, so every per-PE counter and clock
+must come out identical under both backends, for every registered
+protocol.  (The equivalence is by construction, and this is the test
+that keeps it that way: a backend change that charges indirection
+without a third-party message breaks here first.)
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SimulationConfig
+from repro.core.protocol import protocol_names
+from repro.core.replay import replay
+from repro.trace.buffer import TraceBuffer
+from repro.trace.events import Area, Op
+
+#: Private-region ops: the read/write families plus the optimized
+#: commands (DW allocates without a bus access, ER purges after the
+#: read) — everything except locks, whose pairing contract would
+#: constrain the generator without adding any sharing.
+_OPS = (Op.R, Op.R, Op.W, Op.W, Op.DW, Op.ER)
+_AREAS = (Area.HEAP, Area.GOAL)
+
+DIRECTORY_COUNTERS = (
+    "directory_transactions",
+    "directory_forwards",
+    "directory_invalidations",
+    "directory_indirection_cycles",
+)
+
+refs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),   # pe
+        st.integers(min_value=0, max_value=len(_OPS) - 1),
+        st.integers(min_value=0, max_value=1),   # area
+        st.integers(min_value=0, max_value=255), # word offset in the region
+    ),
+    min_size=1,
+    max_size=300,
+)
+
+
+def _trace(entries) -> TraceBuffer:
+    buffer = TraceBuffer(n_pes=4)
+    for pe, op_index, area_index, offset in entries:
+        # Disjoint per-PE regions: bit 12+ carries the PE, so no block
+        # is ever resident in two caches.
+        buffer.append(
+            pe, _OPS[op_index], _AREAS[area_index], (pe << 12) | offset
+        )
+    return buffer
+
+
+@settings(max_examples=30, deadline=None)
+@given(entries=refs, protocol=st.sampled_from(sorted(protocol_names())))
+def test_single_sharer_traces_cost_the_same(entries, protocol):
+    trace = _trace(entries)
+    bus = replay(trace, SimulationConfig(protocol=protocol))
+    directory = replay(
+        trace, SimulationConfig(protocol=protocol, interconnect="directory")
+    )
+    # No third party ever existed, so no message and no indirection ...
+    assert directory.directory_forwards == 0
+    assert directory.directory_invalidations == 0
+    assert directory.directory_indirection_cycles == 0
+    # ... and every shared counter agrees exactly (the bookkeeping
+    # counter directory_transactions is the one allowed difference: it
+    # counts transactions, not costs).
+    bus_dict = bus.as_dict()
+    dir_dict = directory.as_dict()
+    for name in DIRECTORY_COUNTERS:
+        bus_dict.pop(name)
+        dir_dict.pop(name)
+    assert bus_dict == dir_dict

@@ -33,6 +33,7 @@ import os
 import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
@@ -184,6 +185,30 @@ def default_jobs() -> int:
         return os.cpu_count() or 1
 
 
+class SweepWorkerError(RuntimeError):
+    """A sweep worker died mid-task (OOM-kill, SIGKILL, segfault).
+
+    The executor's own :class:`BrokenProcessPool` says only that *some*
+    process vanished; this wraps it with what the caller needs to act —
+    how many configs were in flight and that the pool is no longer
+    usable — instead of hanging or surfacing a bare stdlib error.
+    Sweeps that must survive worker death belong on the checkpointing
+    job service (``repro serve``), which retries from the last
+    checkpoint; this error's message points there.
+    """
+
+    def __init__(self, jobs: int, n_configs: int):
+        super().__init__(
+            f"a sweep worker process died while mapping {n_configs} "
+            f"config(s) over {jobs} worker(s); the pool is broken and "
+            "must be rebuilt. For runs that should survive worker "
+            "death, submit through the checkpointing job service "
+            "(repro serve) instead."
+        )
+        self.jobs = jobs
+        self.n_configs = n_configs
+
+
 class SweepPool:
     """A persistent worker pool serving many sweeps over one trace.
 
@@ -279,11 +304,14 @@ class SweepPool:
         """Replay the pool's trace against every config, in input order."""
         configs = list(configs)
         if self._pool is not None:
-            if self.telemetry is not None:
-                return list(
-                    self._pool.map(_replay_one_indexed, enumerate(configs))
-                )
-            return list(self._pool.map(_replay_one, configs))
+            try:
+                if self.telemetry is not None:
+                    return list(
+                        self._pool.map(_replay_one_indexed, enumerate(configs))
+                    )
+                return list(self._pool.map(_replay_one, configs))
+            except BrokenProcessPool as error:
+                raise SweepWorkerError(self.jobs, len(configs)) from error
         assert self._trace is not None
         if self.telemetry is None:
             return [replay(self._trace, config) for config in configs]

@@ -32,6 +32,12 @@ logger = get_logger("analysis.runner")
 #: from an older emulator are simply never read again.
 TRACE_CACHE_VERSION = 1
 
+#: Default size cap of the disk trace cache.  Long job-fleet sessions
+#: capture many (scale, PE-count, seed, cluster) streams; without a
+#: bound the cache grows monotonically.  Override (in bytes) with
+#: ``REPRO_TRACE_CACHE_BYTES``; 0 disables pruning.
+DEFAULT_TRACE_CACHE_BYTES = 512 * 1024 * 1024
+
 
 def trace_cache_dir() -> Optional[Path]:
     """Directory for cached traces, or None when caching is disabled.
@@ -48,6 +54,91 @@ def trace_cache_dir() -> Optional[Path]:
     base = os.environ.get("XDG_CACHE_HOME")
     root = Path(base).expanduser() if base else Path.home() / ".cache"
     return root / "repro" / "traces"
+
+
+def trace_cache_limit_bytes() -> int:
+    """The cache size cap in bytes (0 = unbounded)."""
+    env = os.environ.get("REPRO_TRACE_CACHE_BYTES")
+    if env is None or not env.strip():
+        return DEFAULT_TRACE_CACHE_BYTES
+    try:
+        return max(0, int(env))
+    except ValueError:
+        logger.warning(
+            "ignoring non-integer REPRO_TRACE_CACHE_BYTES=%r", env
+        )
+        return DEFAULT_TRACE_CACHE_BYTES
+
+
+def _cache_entries(root: Path):
+    """(mtime, size, path) of every cached trace, oldest-access first.
+
+    mtime doubles as last-use time: :meth:`Workloads._load_trace` bumps
+    it on every hit, so sorting by mtime is LRU order.
+    """
+    entries = []
+    for path in root.glob("*.trace"):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append((stat.st_mtime, stat.st_size, path))
+    entries.sort()
+    return entries
+
+
+def trace_cache_stats() -> dict:
+    """Current disk-cache occupancy, for ``repro cache --stats``."""
+    root = trace_cache_dir()
+    if root is None or not root.is_dir():
+        return {
+            "dir": str(root) if root is not None else None,
+            "enabled": root is not None,
+            "files": 0,
+            "total_bytes": 0,
+            "limit_bytes": trace_cache_limit_bytes(),
+        }
+    entries = _cache_entries(root)
+    return {
+        "dir": str(root),
+        "enabled": True,
+        "files": len(entries),
+        "total_bytes": sum(size for _, size, _ in entries),
+        "limit_bytes": trace_cache_limit_bytes(),
+    }
+
+
+def prune_trace_cache(max_bytes: Optional[int] = None) -> dict:
+    """Evict least-recently-used traces until the cache fits *max_bytes*
+    (default: :func:`trace_cache_limit_bytes`).  Returns what happened.
+    """
+    root = trace_cache_dir()
+    if max_bytes is None:
+        max_bytes = trace_cache_limit_bytes()
+    removed = 0
+    removed_bytes = 0
+    if root is not None and root.is_dir() and max_bytes > 0:
+        entries = _cache_entries(root)
+        total = sum(size for _, size, _ in entries)
+        for _, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+            removed_bytes += size
+        if removed:
+            logger.info(
+                "trace cache pruned: %d file(s), %d bytes", removed,
+                removed_bytes,
+            )
+    stats = trace_cache_stats()
+    stats["removed"] = removed
+    stats["removed_bytes"] = removed_bytes
+    return stats
 
 
 @dataclass
@@ -269,6 +360,11 @@ class Workloads:
         try:
             trace = read_trace(path)
             logger.info("trace cache hit: %s (%d refs)", path.name, len(trace))
+            # Touch so LRU pruning sees this file as recently used.
+            try:
+                os.utime(path)
+            except OSError:
+                pass
             return trace
         except (TraceFormatError, OSError, EOFError):
             logger.warning("discarding unreadable cached trace %s", path)
@@ -292,6 +388,7 @@ class Workloads:
             write_trace(trace, tmp)
             os.replace(tmp, path)  # atomic: readers never see a partial file
             logger.debug("trace cached: %s (%d refs)", path.name, len(trace))
+            prune_trace_cache()  # keep the cache under its size cap
         except OSError:
             pass  # a read-only cache dir degrades to no caching
 

@@ -11,8 +11,9 @@ Commands
 ``figures``
     Regenerate the paper's Figures 1-3 and the secondary sweeps.
 ``trace``
-    Record a benchmark's reference stream to a file, or replay a trace
-    file against a chosen cache geometry.
+    Record a benchmark's reference stream to a file, replay a trace
+    file against a chosen cache geometry, or ``convert`` a flat trace
+    into the streamable chunked container (``docs/SERVE.md``).
 ``listing``
     Show the compiled abstract-machine code of a program.
 ``bench``
@@ -44,6 +45,17 @@ Commands
     Replay one trace under several registered protocols and print the
     cross-protocol comparison table (``--json`` emits the
     schema-validated ``repro.obs/comparison/v1`` record instead).
+``serve``
+    The async simulation job service (``docs/SERVE.md``): ``submit``
+    enqueues config + trace into a directory-backed ledger, ``run``
+    drives queued jobs in supervised worker processes that checkpoint
+    on chunk boundaries and retry from the last checkpoint when killed,
+    ``status`` polls the ledger and windowed heartbeats, ``result``
+    prints a finished job's stats + provenance manifest.
+``cache``
+    Inspect (``--stats``) or LRU-prune (``--prune``) the ``Workloads``
+    disk trace cache; the size cap comes from
+    ``REPRO_TRACE_CACHE_BYTES``.
 
 ``run``, ``compare`` and ``bench`` accept ``--clusters K`` to simulate
 a hierarchical machine: K cluster buses joined by the
@@ -251,6 +263,19 @@ def cmd_trace(args) -> int:
         print(f"{args.benchmark}/{args.scale} on {args.pes} PEs: "
               f"{len(result.trace):,} refs -> {args.output}")
         return 0
+    if args.trace_command == "convert":
+        from repro.trace.io import is_chunked_trace, write_trace_chunked
+
+        if is_chunked_trace(args.file):
+            print(f"error: {args.file} is already a chunked trace",
+                  file=sys.stderr)
+            return 2
+        buffer = read_trace(args.file)
+        refs = write_trace_chunked(buffer, args.output, chunk_refs=args.chunk)
+        n_chunks = -(-refs // args.chunk) if refs else 0
+        print(f"converted {refs:,} refs into {n_chunks} chunk(s) "
+              f"of <= {args.chunk:,} refs -> {args.output}")
+        return 0
     buffer = read_trace(args.file)
     stats = replay(buffer, _sim_config(args))
     print(f"replayed {stats.total_refs:,} refs from {args.file}")
@@ -258,6 +283,115 @@ def cmd_trace(args) -> int:
     print(f"bus cycles:  {stats.bus_cycles_total:,}")
     print(f"swap-ins:    {stats.swap_ins:,}   swap-outs: {stats.swap_outs:,}")
     print(f"c2c:         {stats.c2c_transfers:,}")
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from repro.analysis.runner import prune_trace_cache, trace_cache_stats
+
+    if args.prune:
+        stats = prune_trace_cache(args.max_bytes)
+        print(f"pruned: {stats['removed']} trace(s), "
+              f"{stats['removed_bytes']:,} bytes reclaimed")
+    else:
+        stats = trace_cache_stats()
+    if not stats["enabled"]:
+        print("trace cache: disabled (REPRO_TRACE_CACHE=off)")
+        return 0
+    limit = stats["limit_bytes"]
+    print(f"trace cache: {stats['dir']}")
+    print(f"  files:  {stats['files']}")
+    print(f"  bytes:  {stats['total_bytes']:,}")
+    print(f"  limit:  {'unbounded' if limit == 0 else f'{limit:,}'}"
+          "  (REPRO_TRACE_CACHE_BYTES)")
+    return 0
+
+
+def _serve_trace_source(args):
+    """Resolve a serve-submit source into a TraceBuffer or a path."""
+    if args.benchmark:
+        workloads = Workloads(scale=args.scale)
+        return workloads.trace(args.benchmark, args.pes), args.pes
+    return args.trace, (args.pes if args.pes else None)
+
+
+def cmd_serve(args) -> int:
+    from repro.serve.jobs import JobError, JobServer, JobStore
+
+    store = JobStore(args.store)
+    if args.serve_command == "submit":
+        trace, pes = _serve_trace_source(args)
+        try:
+            job_id = store.submit(
+                _sim_config(args),
+                trace,
+                n_pes=pes,
+                chunk_refs=args.chunk,
+                checkpoint_every=args.checkpoint_every,
+                max_retries=args.max_retries,
+                kernel=None if args.kernel == "auto" else args.kernel,
+                seed=args.seed,
+            )
+        except JobError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        record = store.job(job_id)
+        print(f"submitted: {job_id}")
+        print(f"  trace:  {record['trace']} ({record['n_pes']} PEs)")
+        print(f"  chunks: {record['chunk_refs']:,} refs, checkpoint every "
+              f"{record['checkpoint_every']}, {record['max_retries']} retries")
+        return 0
+    if args.serve_command == "run":
+        server = JobServer(store)
+        if args.job:
+            finished = [server.run_job(args.job)["id"]]
+        else:
+            finished = server.run_pending()
+        if not finished:
+            print("no queued or checkpointed jobs")
+            return 0
+        failed = 0
+        for job_id in finished:
+            record = store.job(job_id)
+            line = f"{job_id}: {record['state']}"
+            if record["retries"]:
+                line += f" (retries: {record['retries']})"
+            if record["state"] == "failed":
+                failed += 1
+                line += f" — {record['error']['detail']}"
+            print(line)
+        return 1 if failed else 0
+    if args.serve_command == "status":
+        records = [store.job(args.job)] if args.job else store.jobs()
+        if not records:
+            print("no jobs submitted")
+            return 0
+        for record in records:
+            print(f"{record['id']}: {record['state']} "
+                  f"(retries {record['retries']}/{record['max_retries']})")
+            if record["error"]:
+                print(f"  error: [{record['error']['kind']}] "
+                      f"{record['error']['detail']}")
+            beats = store.heartbeats(record["id"])
+            if beats:
+                last = beats[-1]
+                total = last["refs_total"] or 0
+                done = last["refs_done"]
+                pct = f" ({100 * done / total:.1f}%)" if total else ""
+                print(f"  progress: {done:,}/{total:,} refs{pct}, "
+                      f"window miss ratio {last['miss_ratio']:.4f}, "
+                      f"{len(beats)} heartbeat(s)")
+        return 0
+    # result
+    import json
+
+    record = store.job(args.job)
+    result = store.result(args.job)
+    if result is None:
+        print(f"error: job {args.job!r} has no result yet "
+              f"(state: {record['state']})", file=sys.stderr)
+        return 1
+    print(json.dumps(result, indent=2, sort_keys=True))
     return 0
 
 
@@ -833,6 +967,92 @@ def build_parser() -> argparse.ArgumentParser:
     replay_parser.add_argument("file")
     _add_cache_options(replay_parser)
     replay_parser.set_defaults(handler=cmd_trace)
+    convert = trace_commands.add_parser(
+        "convert",
+        help="convert a flat trace file into the streamable chunked "
+             "container",
+    )
+    convert.add_argument("file", help="flat trace file to convert")
+    convert.add_argument("--output", "-o", required=True)
+    convert.add_argument("--chunk", type=int, default=65536,
+                         help="references per chunk (default 65536)")
+    convert.set_defaults(handler=cmd_trace)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="the async simulation job service: submit jobs to a "
+             "directory-backed ledger, run them in supervised workers "
+             "that checkpoint and survive being killed, poll status "
+             "and fetch results (docs/SERVE.md)",
+    )
+    serve_parser.add_argument("--store", default="serve",
+                              help="job-store directory (default ./serve)")
+    serve_commands = serve_parser.add_subparsers(dest="serve_command",
+                                                 required=True)
+    submit = serve_commands.add_parser(
+        "submit", help="enqueue one simulation (config + trace)"
+    )
+    submit_source = submit.add_mutually_exclusive_group(required=True)
+    submit_source.add_argument("--benchmark",
+                               choices=list(benchmark_names()),
+                               help="simulate a paper benchmark's trace "
+                                    "(via the trace cache)")
+    submit_source.add_argument("--trace",
+                               help="simulate a recorded trace file "
+                                    "(flat or chunked)")
+    submit.add_argument("--scale", default="small",
+                        choices=["tiny", "small", "medium", "paper"])
+    submit.add_argument("--pes", type=int, default=8,
+                        help="PE count (with --trace, 0 means the "
+                             "trace's own)")
+    submit.add_argument("--chunk", type=int, default=8192,
+                        help="references per replay chunk — the "
+                             "heartbeat cadence (default 8192)")
+    submit.add_argument("--checkpoint-every", type=int, default=4,
+                        help="chunks between checkpoints (default 4)")
+    submit.add_argument("--max-retries", type=int, default=2,
+                        help="worker deaths tolerated before the job "
+                             "fails (default 2)")
+    submit.add_argument("--kernel", default="auto",
+                        choices=["auto", "generated", "interpreted"],
+                        help="replay kernel (default auto)")
+    submit.add_argument("--seed", type=int, default=None,
+                        help="seed recorded in the provenance manifest")
+    _add_cache_options(submit)
+    _add_cluster_options(submit)
+    submit.set_defaults(handler=cmd_serve)
+    serve_run = serve_commands.add_parser(
+        "run", help="run queued/checkpointed jobs under the supervisor"
+    )
+    serve_run.add_argument("job", nargs="?",
+                           help="one job id (default: all pending)")
+    serve_run.set_defaults(handler=cmd_serve)
+    serve_status = serve_commands.add_parser(
+        "status", help="show the ledger (or one job's progress)"
+    )
+    serve_status.add_argument("job", nargs="?",
+                              help="one job id (default: all jobs)")
+    serve_status.set_defaults(handler=cmd_serve)
+    serve_result = serve_commands.add_parser(
+        "result", help="print a finished job's result record"
+    )
+    serve_result.add_argument("job")
+    serve_result.set_defaults(handler=cmd_serve)
+
+    cache_parser = commands.add_parser(
+        "cache",
+        help="inspect or prune the Workloads disk trace cache",
+    )
+    cache_parser.add_argument("--stats", action="store_true",
+                              help="print cache occupancy (the default "
+                                   "action, spelled out for scripts)")
+    cache_parser.add_argument("--prune", action="store_true",
+                              help="evict least-recently-used traces "
+                                   "until the cache fits the limit")
+    cache_parser.add_argument("--max-bytes", type=int, default=None,
+                              help="with --prune, override the limit "
+                                   "(default REPRO_TRACE_CACHE_BYTES)")
+    cache_parser.set_defaults(handler=cmd_cache)
 
     listing_parser = commands.add_parser(
         "listing", help="show a program's compiled abstract-machine code"

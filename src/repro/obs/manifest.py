@@ -31,6 +31,32 @@ def config_to_dict(config: SimulationConfig) -> dict:
     return dataclasses.asdict(config)
 
 
+def config_from_dict(data: dict) -> SimulationConfig:
+    """Rebuild a :class:`SimulationConfig` from :func:`config_to_dict`
+    output (e.g. the ``config`` entry of a manifest or checkpoint).
+
+    The round trip is exact: every field of the dataclass tree is a
+    plain scalar, so ``config_from_dict(config_to_dict(c)) == c``.
+    """
+    from repro.core.config import (
+        BusConfig,
+        CacheConfig,
+        ClusterConfig,
+        OptimizationConfig,
+    )
+
+    kwargs = dict(data)
+    for key, cls in (
+        ("cache", CacheConfig),
+        ("bus", BusConfig),
+        ("opts", OptimizationConfig),
+        ("cluster", ClusterConfig),
+    ):
+        if key in kwargs and isinstance(kwargs[key], dict):
+            kwargs[key] = cls(**kwargs[key])
+    return SimulationConfig(**kwargs)
+
+
 def config_fingerprint(config: SimulationConfig) -> str:
     """Stable short hash of a simulation configuration.
 

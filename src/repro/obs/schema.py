@@ -428,6 +428,170 @@ def validate_bench_history(record: Mapping) -> Mapping:
     return record
 
 
+#: Schema tag of simulator checkpoints (produced by
+#: :mod:`repro.serve.checkpoint`; the tag lives here with the other
+#: artifact tags so the validator has no upward dependency).
+CHECKPOINT_SCHEMA = "repro.obs/checkpoint/v1"
+
+#: Schema tag of job-ledger records (produced by
+#: :mod:`repro.serve.jobs`).
+JOB_SCHEMA = "repro.obs/job/v1"
+
+#: The job lifecycle.  ``queued`` → ``running`` → (``checkpointed`` ⇄
+#: ``running``) → ``done`` | ``failed``.
+JOB_STATES = ("queued", "running", "checkpointed", "done", "failed")
+
+
+def _require_pair_list(record: Mapping, where: str, key: str, width: int) -> list:
+    value = _require(record, where, key, list)
+    for index, item in enumerate(value):
+        if not isinstance(item, (list, tuple)) or len(item) != width:
+            raise SchemaError(
+                f"{where}.{key}[{index}]: expected a {width}-element row"
+            )
+    return value
+
+
+def _validate_checkpoint_stats(stats: Mapping, where: str) -> None:
+    for key in ("refs", "hits"):
+        rows = _require(stats, where, key, list)
+        for index, row in enumerate(rows):
+            if not isinstance(row, list):
+                raise SchemaError(f"{where}.{key}[{index}]: expected a list")
+    for key in (
+        "pattern_counts", "pattern_cycles", "bus_cycles_by_area",
+        "command_counts", "pe_cycles",
+    ):
+        _require_number_list(stats, where, key)
+    scalars = _require(stats, where, "scalars", Mapping)
+    for name, value in scalars.items():
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise SchemaError(f"{where}.scalars[{name!r}]: expected an int")
+
+
+def _validate_checkpoint_system(state: Mapping, where: str) -> None:
+    caches = _require(state, where, "caches", list)
+    if not caches:
+        raise SchemaError(f"{where}.caches: a system has at least one cache")
+    for index, cache in enumerate(caches):
+        entry = f"{where}.caches[{index}]"
+        if not isinstance(cache, Mapping):
+            raise SchemaError(f"{entry}: expected an object")
+        tick = _require(cache, entry, "tick", int)
+        if isinstance(tick, bool) or tick < 0:
+            raise SchemaError(f"{entry}.tick: expected a non-negative int")
+        # Each line is [block, state, area, lru, data].
+        _require_pair_list(cache, entry, "lines", 5)
+    locks = _require(state, where, "locks", list)
+    for index, lock in enumerate(locks):
+        entry = f"{where}.locks[{index}]"
+        if not isinstance(lock, Mapping):
+            raise SchemaError(f"{entry}: expected an object")
+        _require_pair_list(lock, entry, "entries", 2)
+        for key in ("max_occupancy", "overflows"):
+            value = _require(lock, entry, key, int)
+            if isinstance(value, bool) or value < 0:
+                raise SchemaError(f"{entry}.{key}: expected a count")
+    _require_pair_list(state, where, "memory", 2)
+    _require_pair_list(state, where, "locked_words", 2)
+    _require_pair_list(state, where, "waiting", 2)
+    stats = _require(state, where, "stats", Mapping)
+    _validate_checkpoint_stats(stats, f"{where}.stats")
+    interconnect = _require(state, where, "interconnect", Mapping)
+    entry = f"{where}.interconnect"
+    free_at = _require(interconnect, entry, "free_at", int)
+    if isinstance(free_at, bool) or free_at < 0:
+        raise SchemaError(f"{entry}.free_at: expected a non-negative int")
+    if interconnect.get("entries") is not None:
+        # Each directory entry is [block, state, owner, sharers].
+        _require_pair_list(interconnect, entry, "entries", 4)
+    if "network" in state and state["network"] is not None:
+        network = state["network"]
+        entry = f"{where}.network"
+        if not isinstance(network, Mapping):
+            raise SchemaError(f"{entry}: expected an object")
+        _require(network, entry, "link_free_at", int)
+        net_stats = _require(network, entry, "stats", Mapping)
+        for name, value in net_stats.items():
+            if name == "forwards_by_home":
+                _require_number_list(net_stats, entry + ".stats", name)
+            elif not isinstance(value, int) or isinstance(value, bool):
+                raise SchemaError(
+                    f"{entry}.stats[{name!r}]: expected an int"
+                )
+        cluster_index = _require(state, where, "cluster_index", int)
+        if isinstance(cluster_index, bool) or cluster_index < 0:
+            raise SchemaError(f"{where}.cluster_index: expected an index")
+
+
+def validate_checkpoint(record: Mapping) -> Mapping:
+    """Validate one full-simulator checkpoint."""
+    where = "checkpoint"
+    schema = _require(record, where, "schema", str)
+    if schema != CHECKPOINT_SCHEMA:
+        raise SchemaError(
+            f"{where}.schema: expected {CHECKPOINT_SCHEMA!r}, got {schema!r}"
+        )
+    kind = _require(record, where, "kind", str)
+    if kind not in ("flat", "clustered"):
+        raise SchemaError(f"{where}.kind: unknown kind {kind!r}")
+    _require(record, where, "config", Mapping)
+    n_pes = _require(record, where, "n_pes", int)
+    if isinstance(n_pes, bool) or n_pes < 1:
+        raise SchemaError(f"{where}.n_pes: expected a positive int")
+    systems = _require(record, where, "systems", list)
+    if not systems:
+        raise SchemaError(f"{where}.systems: expected at least one system")
+    if kind == "flat" and len(systems) != 1:
+        raise SchemaError(
+            f"{where}.systems: a flat checkpoint holds one system, "
+            f"got {len(systems)}"
+        )
+    for index, state in enumerate(systems):
+        entry = f"{where}.systems[{index}]"
+        if not isinstance(state, Mapping):
+            raise SchemaError(f"{entry}: expected an object")
+        _validate_checkpoint_system(state, entry)
+    return record
+
+
+def validate_job(record: Mapping) -> Mapping:
+    """Validate one job-ledger record."""
+    where = "job"
+    schema = _require(record, where, "schema", str)
+    if schema != JOB_SCHEMA:
+        raise SchemaError(f"{where}.schema: expected {JOB_SCHEMA!r}, got {schema!r}")
+    job_id = _require(record, where, "id", str)
+    if not job_id:
+        raise SchemaError(f"{where}.id: expected a non-empty id")
+    state = _require(record, where, "state", str)
+    if state not in JOB_STATES:
+        raise SchemaError(f"{where}.state: unknown state {state!r}")
+    _require(record, where, "trace", str)
+    for key in ("n_pes", "chunk_refs", "checkpoint_every", "max_retries"):
+        value = _require(record, where, key, int)
+        if isinstance(value, bool) or value < 1:
+            raise SchemaError(f"{where}.{key}: expected a positive int")
+    retries = _require(record, where, "retries", int)
+    if isinstance(retries, bool) or retries < 0:
+        raise SchemaError(f"{where}.retries: expected a non-negative int")
+    kernel = _require(record, where, "kernel", None)
+    if kernel is not None and not isinstance(kernel, str):
+        raise SchemaError(f"{where}.kernel: expected str or null")
+    error = _require(record, where, "error", None)
+    if error is not None:
+        entry = f"{where}.error"
+        if not isinstance(error, Mapping):
+            raise SchemaError(f"{entry}: expected an object or null")
+        _require(error, entry, "kind", str)
+        _require(error, entry, "detail", str)
+    if state == "failed" and error is None:
+        raise SchemaError(f"{where}: failed jobs record a structured error")
+    manifest = _require(record, where, "manifest", Mapping)
+    validate_manifest(manifest)
+    return record
+
+
 def validate_jsonl(lines: Iterable[str], validator) -> int:
     """Validate every JSONL line with *validator*; returns the count."""
     import json

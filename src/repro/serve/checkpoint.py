@@ -1,0 +1,250 @@
+"""Snapshot and restore of full simulator state.
+
+A checkpoint captures *everything* a replay's future depends on: every
+cache line (tag, state, area, LRU stamp, optional data), per-cache LRU
+clocks, lock-directory entries and their high-water marks, the shared
+memory image, the lock accelerator maps, every ``SystemStats`` counter
+(per-PE clocks included), the interconnect timeline, the home-node
+directory's entry table, and — for clustered systems — each cluster's
+network interface (link timeline plus counters).  The identity the
+test-suite and fuzzing oracle enforce: *run N refs* produces exactly
+the same state and counters as *run k, snapshot, restore, run N−k*.
+
+Checkpoints are plain JSON (schema ``repro.obs/checkpoint/v1``,
+validated by :func:`repro.obs.schema.validate_checkpoint`), so they
+survive a process boundary and a ``json`` round trip by construction.
+
+Restore builds a *fresh* system from the embedded config and then
+mutates state in place.  That ordering is load-bearing twice over:
+
+* ``SystemStats`` lists are updated with slice assignment and matrix
+  element assignment, never replaced — live systems hold aliases into
+  them (``system._pe_cycles``, the interconnect's ``_stats``, and the
+  cluster network wrappers' closed-over ``pattern_counts``).
+* The directory's entry table is restored *exactly as serialized*,
+  never recomputed from cache residency: the directory intentionally
+  under-promotes (an ``E`` entry over an ``EM`` copy is legal), so a
+  rebuilt table could be a different — equally legal but behaviorally
+  distinct — machine.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.cache import Cache, CacheLine
+from repro.core.config import SimulationConfig
+from repro.core.states import CacheState, LockState
+from repro.core.stats import N_AREAS, N_OPS, SystemStats
+from repro.core.system import PIMCacheSystem
+from repro.cluster.network import NetworkStats
+from repro.cluster.system import ClusterCacheSystem, ClusteredSystem
+from repro.obs.manifest import config_from_dict, config_to_dict
+from repro.obs.schema import CHECKPOINT_SCHEMA, validate_checkpoint
+
+#: Stats scalars beyond the summed fields (restored by plain setattr).
+_STAT_SCALARS = SystemStats._SUM_FIELDS + ("lock_dir_max_occupancy",)
+
+
+def _stats_state(stats: SystemStats) -> dict:
+    return {
+        "refs": [list(row) for row in stats.refs],
+        "hits": [list(row) for row in stats.hits],
+        "pattern_counts": list(stats.pattern_counts),
+        "pattern_cycles": list(stats.pattern_cycles),
+        "bus_cycles_by_area": list(stats.bus_cycles_by_area),
+        "command_counts": list(stats.command_counts),
+        "pe_cycles": list(stats.pe_cycles),
+        "scalars": {name: getattr(stats, name) for name in _STAT_SCALARS},
+    }
+
+
+def _restore_stats(stats: SystemStats, state: dict) -> None:
+    for a in range(N_AREAS):
+        for o in range(N_OPS):
+            stats.refs[a][o] = state["refs"][a][o]
+            stats.hits[a][o] = state["hits"][a][o]
+    stats.pattern_counts[:] = state["pattern_counts"]
+    stats.pattern_cycles[:] = state["pattern_cycles"]
+    stats.bus_cycles_by_area[:] = state["bus_cycles_by_area"]
+    stats.command_counts[:] = state["command_counts"]
+    stats.pe_cycles[:] = state["pe_cycles"]
+    for name, value in state["scalars"].items():
+        setattr(stats, name, value)
+
+
+def _cache_state(cache: Cache) -> dict:
+    return {
+        "tick": cache._tick,
+        "lines": [
+            [block, int(line.state), line.area, line.lru, line.data]
+            for block, line in sorted(cache.lines())
+        ],
+    }
+
+
+def _restore_cache(cache: Cache, state: dict) -> None:
+    if cache.occupancy():
+        raise ValueError("restore target cache is not empty")
+    for block, line_state, area, lru, data in state["lines"]:
+        tag = block >> cache._set_shift
+        line = CacheLine(tag, CacheState(line_state), area, lru, data)
+        cache._sets[block & cache._set_mask][tag] = line
+        cache._lines[block] = line
+    cache._tick = state["tick"]
+
+
+def _system_state(system: PIMCacheSystem) -> dict:
+    interconnect: dict = {"free_at": system.interconnect.free_at}
+    entries = getattr(system.interconnect, "entries", None)
+    if entries is not None:
+        interconnect["entries"] = [
+            [block, int(entry.state), entry.owner, entry.sharers]
+            for block, entry in sorted(entries.items())
+        ]
+    state = {
+        "caches": [_cache_state(cache) for cache in system.caches],
+        "locks": [
+            {
+                "entries": sorted(
+                    [addr, int(lock_state)]
+                    for addr, lock_state in lock.entries.items()
+                ),
+                "max_occupancy": lock.max_occupancy,
+                "overflows": lock.overflows,
+            }
+            for lock in system.lock_directories
+        ],
+        "memory": sorted(
+            [addr, value] for addr, value in system.memory.items()
+        ),
+        "locked_words": [
+            [block, [list(pair) for pair in pairs]]
+            for block, pairs in sorted(system._locked_words.items())
+        ],
+        "waiting": sorted(
+            [pe, block] for pe, block in system._waiting.items()
+        ),
+        "stats": _stats_state(system.stats),
+        "interconnect": interconnect,
+    }
+    if isinstance(system, ClusterCacheSystem):
+        state["cluster_index"] = system.cluster_index
+        net = system.network
+        net_stats = {
+            name: getattr(net.stats, name)
+            for name in NetworkStats._SUM_FIELDS
+        }
+        net_stats["forwards_by_home"] = list(net.stats.forwards_by_home)
+        state["network"] = {
+            "link_free_at": net.link_free_at,
+            "stats": net_stats,
+        }
+    return state
+
+
+def _restore_system(system: PIMCacheSystem, state: dict) -> None:
+    from repro.core.protocol.directory import DirectoryEntry, DirState
+
+    for cache, cache_state in zip(system.caches, state["caches"]):
+        _restore_cache(cache, cache_state)
+    # The presence map is derived state: rebuild it from the restored
+    # lines rather than trusting a second serialized copy of the truth.
+    holders = system._holders
+    holders.clear()
+    for pe, cache in enumerate(system.caches):
+        for block, _line in cache.lines():
+            holder_set = holders.get(block)
+            if holder_set is None:
+                holders[block] = {pe}
+            else:
+                holder_set.add(pe)
+    for lock, lock_state in zip(system.lock_directories, state["locks"]):
+        lock.entries = {
+            addr: LockState(value) for addr, value in lock_state["entries"]
+        }
+        lock.max_occupancy = lock_state["max_occupancy"]
+        lock.overflows = lock_state["overflows"]
+    system.memory = {addr: value for addr, value in state["memory"]}
+    system._locked_words = {
+        block: [tuple(pair) for pair in pairs]
+        for block, pairs in state["locked_words"]
+    }
+    system._waiting = {pe: block for pe, block in state["waiting"]}
+    _restore_stats(system.stats, state["stats"])
+    system.interconnect.free_at = state["interconnect"]["free_at"]
+    dir_entries = state["interconnect"].get("entries")
+    if dir_entries is not None:
+        system.interconnect.entries = {
+            block: DirectoryEntry(DirState(dir_state), owner, sharers)
+            for block, dir_state, owner, sharers in dir_entries
+        }
+    network = state.get("network")
+    if network is not None:
+        net = system.network
+        net.link_free_at = network["link_free_at"]
+        for name in NetworkStats._SUM_FIELDS:
+            setattr(net.stats, name, network["stats"][name])
+        net.stats.forwards_by_home[:] = network["stats"]["forwards_by_home"]
+
+
+def snapshot(system) -> dict:
+    """Capture *system* (flat or clustered) as a JSON-ready checkpoint."""
+    if isinstance(system, ClusteredSystem):
+        return {
+            "schema": CHECKPOINT_SCHEMA,
+            "kind": "clustered",
+            "config": config_to_dict(system.config),
+            "n_pes": system.n_pes,
+            "systems": [_system_state(sub) for sub in system.systems],
+        }
+    return {
+        "schema": CHECKPOINT_SCHEMA,
+        "kind": "flat",
+        "config": config_to_dict(system.config),
+        "n_pes": system.n_pes,
+        "systems": [_system_state(system)],
+    }
+
+
+def restore(checkpoint: dict):
+    """Rebuild a live system from a :func:`snapshot` checkpoint.
+
+    Validates the checkpoint first, then constructs a fresh system from
+    the embedded config and surgically restores every piece of state.
+    The result is indistinguishable from the snapshotted system: the
+    replay suffix it produces is bit-identical.
+    """
+    validate_checkpoint(checkpoint)
+    config: SimulationConfig = config_from_dict(checkpoint["config"])
+    n_pes = checkpoint["n_pes"]
+    if checkpoint["kind"] == "clustered":
+        system = ClusteredSystem(config, n_pes)
+        for sub, state in zip(system.systems, checkpoint["systems"]):
+            _restore_system(sub, state)
+        return system
+    state = checkpoint["systems"][0]
+    if "cluster_index" in state:
+        flat = ClusterCacheSystem(config, n_pes, state["cluster_index"])
+    else:
+        flat = PIMCacheSystem(config, n_pes)
+    _restore_system(flat, state)
+    return flat
+
+
+def write_checkpoint(checkpoint: dict, path: Union[str, Path]) -> Path:
+    """Atomically persist a checkpoint (write-temp + rename)."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(checkpoint, sort_keys=True) + "\n")
+    tmp.replace(path)
+    return path
+
+
+def read_checkpoint(path: Union[str, Path]) -> dict:
+    """Load and validate a persisted checkpoint."""
+    checkpoint = json.loads(Path(path).read_text())
+    validate_checkpoint(checkpoint)
+    return checkpoint

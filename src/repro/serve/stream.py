@@ -1,0 +1,135 @@
+"""Constant-memory streaming replay over chunked traces.
+
+The identity this module rides on: ``replay()`` with a persistent
+``system=`` argument is *sequentially composable* — replaying a trace
+chunk-by-chunk into one system produces bit-identical counters to one
+in-memory replay, for both kernels (the interpreted loop seeds its LRU
+clock from the caches and broadcasts it back after every segment; the
+generated kernel's windowed tier already replays in segments).  For
+clustered systems the ``split_trace`` determinism argument
+(docs/CLUSTER.md) composes with chunking: splitting each chunk and
+replaying every shard into its cluster's persistent system is the same
+per-cluster subsequence an interleaved run would produce, so
+cluster-parallel streaming merges deterministically too.
+
+Peak memory is therefore bounded by one chunk (plus live simulator
+state), never by the trace: a billion-reference trace replays through
+the same few hundred kilobytes of buffer.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Optional, Union
+
+from repro.core.config import SimulationConfig
+from repro.core.replay import replay
+from repro.core.stats import SystemStats
+from repro.core.system import PIMCacheSystem
+from repro.cluster.replay import split_trace
+from repro.cluster.system import ClusteredSystem, ClusterStats
+from repro.trace.buffer import TraceBuffer
+from repro.trace.io import (
+    DEFAULT_CHUNK_REFS,
+    is_chunked_trace,
+    iter_trace_chunks,
+    read_trace,
+)
+
+ChunkSource = Union[str, Path, TraceBuffer, Iterable[TraceBuffer]]
+
+
+def chunk_stream(
+    source: ChunkSource, chunk_refs: int = DEFAULT_CHUNK_REFS
+) -> Iterator[TraceBuffer]:
+    """Normalize *source* into an iterator of trace chunks.
+
+    * A path to a chunked (``PIMTRACEC``) file streams its chunks as
+      written — constant memory.
+    * A path to a flat file is loaded once and sliced (the flat
+      container is one record; convert with ``repro trace convert``
+      for true streaming).
+    * An in-memory :class:`TraceBuffer` is sliced into ``chunk_refs``
+      views; any other iterable is passed through.
+    """
+    if isinstance(source, (str, Path)):
+        if is_chunked_trace(source):
+            return iter_trace_chunks(source)
+        source = read_trace(source)
+    if isinstance(source, TraceBuffer):
+        buffer = source
+
+        def slices() -> Iterator[TraceBuffer]:
+            for start in range(0, len(buffer), chunk_refs):
+                yield buffer.slice(start, min(start + chunk_refs, len(buffer)))
+
+        return slices()
+    return iter(source)
+
+
+def replay_stream(
+    source: ChunkSource,
+    config: Optional[SimulationConfig] = None,
+    n_pes: Optional[int] = None,
+    chunk_refs: int = DEFAULT_CHUNK_REFS,
+    kernel: Optional[str] = None,
+    system=None,
+    on_chunk: Optional[Callable[[int, int, object], None]] = None,
+):
+    """Replay *source* chunk-by-chunk through one persistent system.
+
+    Returns the flat :class:`SystemStats` for single-bus configs or a
+    :class:`ClusterStats` when ``config.cluster.n_clusters > 1`` —
+    bit-identical to replaying the whole trace in memory.
+
+    *system* lets a caller resume a restored checkpoint (it must match
+    the config's shape); *on_chunk* is called after every chunk with
+    ``(chunk_index, refs_done, system)`` — the hook the job service
+    checkpoints and heartbeats from.
+    """
+    chunks = chunk_stream(source, chunk_refs)
+    refs_done = 0
+    index = 0
+    for chunk in chunks:
+        if system is None:
+            if n_pes is None:
+                n_pes = chunk.n_pes
+            if config is None:
+                config = SimulationConfig()
+            if config.cluster.n_clusters > 1:
+                system = ClusteredSystem(config, n_pes)
+            else:
+                system = PIMCacheSystem(config, n_pes)
+        _replay_chunk(system, chunk, kernel)
+        refs_done += len(chunk)
+        if on_chunk is not None:
+            on_chunk(index, refs_done, system)
+        index += 1
+    if system is None:
+        # Empty stream: an untouched system of the requested shape.
+        if config is None:
+            config = SimulationConfig()
+        if config.cluster.n_clusters > 1:
+            system = ClusteredSystem(config, n_pes or 1)
+        else:
+            system = PIMCacheSystem(config, n_pes or 1)
+    return stream_result(system)
+
+
+def _replay_chunk(system, chunk: TraceBuffer, kernel: Optional[str]) -> None:
+    """Advance *system* by one chunk (flat or clustered)."""
+    if isinstance(system, ClusteredSystem):
+        shards = split_trace(chunk, system.n_pes, system.n_clusters)
+        for sub, shard in zip(system.systems, shards):
+            if len(shard):
+                replay(shard, system=sub, kernel=kernel)
+        return
+    replay(chunk, system=system, kernel=kernel)
+
+
+def stream_result(system):
+    """The result object for a streamed system: flat stats or, for a
+    clustered system, the per-cluster breakdown."""
+    if isinstance(system, ClusteredSystem):
+        return system.cluster_stats()
+    return system.stats

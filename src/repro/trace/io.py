@@ -1,10 +1,22 @@
 """Trace file round-trip.
 
-The format is deliberately simple: a small ASCII header (magic, version,
-PE count, reference count) followed by the five raw columns, each
-prefixed with its typecode.  Arrays are written in machine byte order;
-the header records the byte order, and a reader on a foreign-endian
-machine byteswaps the columns on load.
+Two on-disk containers share the same column encoding:
+
+* **Flat** (``PIMTRACE``): a small ASCII header (magic, version, PE
+  count, reference count) followed by the five raw columns, each
+  prefixed with its typecode.  The whole trace is one record, so the
+  reader materializes it in one go.
+* **Chunked** (``PIMTRACEC``): the same five columns repeated per
+  chunk, each chunk introduced by a ``C <index> <count>`` line and the
+  file closed by an ``E <n_chunks> <total_refs>`` marker.  Chunks can
+  be written from a generator without knowing the total length and
+  read back one at a time (:func:`iter_trace_chunks`), so a replay
+  never holds more than one chunk in memory.
+
+Arrays are written in machine byte order; the header records the byte
+order, and a reader on a foreign-endian machine byteswaps the columns
+on load.  :func:`read_trace` sniffs the magic, so every existing
+consumer transparently accepts both containers.
 """
 
 from __future__ import annotations
@@ -12,16 +24,35 @@ from __future__ import annotations
 import sys
 from array import array
 from pathlib import Path
-from typing import Union
+from typing import IO, Iterable, Iterator, Union
 
 from repro.trace.buffer import TraceBuffer
 
 MAGIC = b"PIMTRACE"
 VERSION = 1
 
+CHUNK_MAGIC = b"PIMTRACEC"
+CHUNK_VERSION = 1
+
+#: Default chunk size for :func:`write_trace_chunked`.  Small enough
+#: that one chunk of five columns (12 bytes/ref) stays well under a
+#: megabyte, large enough that per-chunk framing overhead is noise.
+DEFAULT_CHUNK_REFS = 65_536
+
 
 class TraceFormatError(ValueError):
-    """Raised when a trace file is malformed."""
+    """Raised when a trace file is malformed.
+
+    For chunked containers the error pinpoints where the file went
+    bad: ``byte_offset`` is the file position at the failure and
+    ``chunk_index`` the chunk being read.  Both are ``None`` for flat
+    (single-record) traces.
+    """
+
+    def __init__(self, message, byte_offset=None, chunk_index=None):
+        super().__init__(message)
+        self.byte_offset = byte_offset
+        self.chunk_index = chunk_index
 
 
 def write_trace(buffer: TraceBuffer, path: Union[str, Path]) -> None:
@@ -40,10 +71,17 @@ def write_trace(buffer: TraceBuffer, path: Union[str, Path]) -> None:
 
 
 def read_trace(path: Union[str, Path]) -> TraceBuffer:
-    """Deserialize a trace previously written by :func:`write_trace`."""
+    """Deserialize a trace written by :func:`write_trace` or
+    :func:`write_trace_chunked` (the magic line selects the reader)."""
     path = Path(path)
     with path.open("rb") as fh:
         magic = fh.readline().rstrip(b"\n")
+        if magic == CHUNK_MAGIC:
+            n_pes, swap = _read_chunk_header(fh, path)
+            buffer = TraceBuffer(n_pes=n_pes)
+            for chunk in _iter_chunks(fh, path, n_pes, swap):
+                buffer.extend(chunk)
+            return buffer
         if magic != MAGIC:
             raise TraceFormatError(f"{path}: not a PIM trace file")
         try:
@@ -95,3 +133,226 @@ def read_trace(path: Union[str, Path]) -> TraceBuffer:
                 fresh.byteswap()
             column.extend(fresh)
         return buffer
+
+
+# ---------------------------------------------------------------------------
+# Chunked container.
+
+
+def is_chunked_trace(path: Union[str, Path]) -> bool:
+    """True when *path* uses the chunked (streamable) container."""
+    with Path(path).open("rb") as fh:
+        return fh.readline().rstrip(b"\n") == CHUNK_MAGIC
+
+
+def _chunk_slices(
+    buffer: TraceBuffer, chunk_refs: int
+) -> Iterator[TraceBuffer]:
+    for start in range(0, len(buffer), chunk_refs):
+        yield buffer.slice(start, min(start + chunk_refs, len(buffer)))
+
+
+def write_trace_chunked(
+    source: Union[TraceBuffer, Iterable[TraceBuffer]],
+    path: Union[str, Path],
+    chunk_refs: int = DEFAULT_CHUNK_REFS,
+    n_pes: int = None,
+) -> int:
+    """Serialize *source* to *path* in the chunked container.
+
+    *source* is either a whole :class:`TraceBuffer` (sliced into
+    ``chunk_refs``-sized chunks) or an iterable of chunk buffers (each
+    written as-is, so a generator can stream a trace that never fits in
+    memory).  The writer needs no seeks: the total is recorded in the
+    trailing ``E`` marker.  Returns the number of references written.
+
+    *n_pes* is only consulted when *source* is an empty iterable (there
+    is no chunk to infer it from); it defaults to 1.
+    """
+    path = Path(path)
+    if isinstance(source, TraceBuffer):
+        n_pes = source.n_pes
+        chunks: Iterable[TraceBuffer] = _chunk_slices(source, chunk_refs)
+    else:
+        chunks = iter(source)
+    total = 0
+    index = 0
+    with path.open("wb") as fh:
+        header_written = False
+        for chunk in chunks:
+            if not header_written:
+                fh.write(CHUNK_MAGIC + b"\n")
+                fh.write(
+                    f"{CHUNK_VERSION} {sys.byteorder} {chunk.n_pes}\n".encode("ascii")
+                )
+                header_written = True
+            fh.write(f"C {index} {len(chunk)}\n".encode("ascii"))
+            for column in chunk.columns():
+                fh.write(column.typecode.encode("ascii"))
+                fh.write(b"\n")
+                column.tofile(fh)
+            total += len(chunk)
+            index += 1
+        if not header_written:
+            fh.write(CHUNK_MAGIC + b"\n")
+            fh.write(
+                f"{CHUNK_VERSION} {sys.byteorder} {n_pes or 1}\n".encode("ascii")
+            )
+        fh.write(f"E {index} {total}\n".encode("ascii"))
+    return total
+
+
+def iter_trace_chunks(path: Union[str, Path]) -> Iterator[TraceBuffer]:
+    """Yield the chunks of a chunked trace one :class:`TraceBuffer` at
+    a time, holding at most one chunk in memory.
+
+    Raises :class:`TraceFormatError` — carrying the byte offset and
+    chunk index — on truncated or malformed input, including a missing
+    ``E`` end marker (a partially written file).
+    """
+    path = Path(path)
+    with path.open("rb") as fh:
+        magic = fh.readline().rstrip(b"\n")
+        if magic != CHUNK_MAGIC:
+            raise TraceFormatError(
+                f"{path}: not a chunked PIM trace file", byte_offset=0
+            )
+        n_pes, swap = _read_chunk_header(fh, path)
+        yield from _iter_chunks(fh, path, n_pes, swap)
+
+
+def _read_chunk_header(fh: IO[bytes], path: Path):
+    """Parse the one-line chunked-container header (after the magic).
+
+    Returns ``(n_pes, swap)`` where *swap* says the columns were
+    written on a foreign-endian machine."""
+    offset = fh.tell()
+    try:
+        header = fh.readline().decode("ascii").split()
+    except UnicodeDecodeError as error:
+        raise TraceFormatError(
+            f"{path}: non-ASCII chunk header", byte_offset=offset
+        ) from error
+    if len(header) != 3:
+        raise TraceFormatError(
+            f"{path}: malformed chunk header {header!r}", byte_offset=offset
+        )
+    version, byteorder, n_pes = header
+    try:
+        version_num = int(version)
+        pe_count = int(n_pes)
+    except ValueError as error:
+        raise TraceFormatError(
+            f"{path}: malformed chunk header {header!r}", byte_offset=offset
+        ) from error
+    if version_num != CHUNK_VERSION:
+        raise TraceFormatError(
+            f"{path}: unsupported chunked version {version}",
+            byte_offset=offset,
+        )
+    if byteorder not in ("little", "big"):
+        raise TraceFormatError(
+            f"{path}: unknown byte order {byteorder!r} in chunk header",
+            byte_offset=offset,
+        )
+    if pe_count < 1:
+        raise TraceFormatError(
+            f"{path}: malformed chunk header {header!r}", byte_offset=offset
+        )
+    return pe_count, byteorder != sys.byteorder
+
+
+def _iter_chunks(
+    fh: IO[bytes], path: Path, n_pes: int, swap: bool = False
+) -> Iterator[TraceBuffer]:
+    chunk_index = 0
+    total = 0
+    while True:
+        offset = fh.tell()
+        line = fh.readline()
+        if not line:
+            raise TraceFormatError(
+                f"{path}: truncated chunked trace (missing end marker "
+                f"after chunk {chunk_index - 1})",
+                byte_offset=offset,
+                chunk_index=chunk_index,
+            )
+        parts = line.split()
+        if parts and parts[0] == b"E":
+            _check_end_marker(parts, path, offset, chunk_index, total)
+            return
+        if len(parts) != 3 or parts[0] != b"C":
+            raise TraceFormatError(
+                f"{path}: malformed chunk record {line!r}",
+                byte_offset=offset,
+                chunk_index=chunk_index,
+            )
+        try:
+            index = int(parts[1])
+            count = int(parts[2])
+        except ValueError as error:
+            raise TraceFormatError(
+                f"{path}: malformed chunk record {line!r}",
+                byte_offset=offset,
+                chunk_index=chunk_index,
+            ) from error
+        if index != chunk_index or count < 0:
+            raise TraceFormatError(
+                f"{path}: chunk {index} out of order (expected "
+                f"{chunk_index})",
+                byte_offset=offset,
+                chunk_index=chunk_index,
+            )
+        buffer = TraceBuffer(n_pes=n_pes)
+        for column in buffer.columns():
+            col_offset = fh.tell()
+            typecode = fh.readline().rstrip(b"\n").decode("ascii", "replace")
+            if typecode != column.typecode:
+                raise TraceFormatError(
+                    f"{path}: chunk {chunk_index} column typecode "
+                    f"{typecode!r}, expected {column.typecode!r}",
+                    byte_offset=col_offset,
+                    chunk_index=chunk_index,
+                )
+            fresh = array(column.typecode)
+            try:
+                fresh.fromfile(fh, count)
+            except (EOFError, ValueError) as error:
+                raise TraceFormatError(
+                    f"{path}: truncated chunk {chunk_index} (column "
+                    f"{column.typecode!r} has {len(fresh)} of {count} "
+                    f"entries)",
+                    byte_offset=fh.tell(),
+                    chunk_index=chunk_index,
+                ) from error
+            if swap:
+                fresh.byteswap()
+            column.extend(fresh)
+        total += count
+        chunk_index += 1
+        yield buffer
+
+
+def _check_end_marker(parts, path, offset, chunk_index, total):
+    if len(parts) != 3:
+        raise TraceFormatError(
+            f"{path}: malformed end marker {parts!r}",
+            byte_offset=offset,
+            chunk_index=chunk_index,
+        )
+    try:
+        n_chunks = int(parts[1])
+        n_refs = int(parts[2])
+    except ValueError as error:
+        raise TraceFormatError(
+            f"{path}: malformed end marker {parts!r}",
+            byte_offset=offset,
+            chunk_index=chunk_index,
+        ) from error
+    if n_chunks != chunk_index or n_refs != total:
+        raise TraceFormatError(
+            f"{path}: end marker says {n_chunks} chunks/{n_refs} refs, "
+            f"read {chunk_index} chunks/{total} refs",
+            byte_offset=offset,
+            chunk_index=chunk_index,
+        )

@@ -124,7 +124,9 @@ def run_case(
     Paths exercised: (1) per-access ``PIMCacheSystem`` with data
     tracking and the flat-memory value check, (2) the interpreted fast
     kernel, plus the generated (``codegen``) kernel when numpy is
-    available, (3) the checked per-access loop with periodic
+    available, (2c) a snapshot/restore mid-run resume that must equal
+    the uninterrupted run in both counters and full machine state,
+    (3) the checked per-access loop with periodic
     ``check_invariants()``, and (4) for each cluster count the sharded
     fast-kernel replay against the interleaved clustered replay (with a
     per-cluster value pass for multi-cluster runs).  Returns the number
@@ -147,8 +149,11 @@ def run_case(
 
     # (2) Interpreted fast kernel, no data tracking: counters must be
     # identical.  Pinned explicitly — "auto" would pick the generated
-    # kernel and silently stop covering the interpreted path.
-    fast = replay(trace, base, n_pes=n_pes, kernel="interpreted").as_dict()
+    # kernel and silently stop covering the interpreted path.  The
+    # system is kept: the checkpoint pass (2c) compares full machine
+    # state against this uninterrupted run.
+    fast_system = PIMCacheSystem(base, n_pes)
+    fast = replay(trace, system=fast_system, kernel="interpreted").as_dict()
     refs += len(trace)
     if fast != flat:
         raise Divergence(
@@ -169,6 +174,41 @@ def run_case(
                 "generated-stats",
                 "generated kernel disagrees with the per-access system: "
                 + _dict_diff("generated", generated, "access", flat),
+            )
+
+    # (2c) Checkpoint identity: replay a prefix, snapshot through a
+    # JSON round trip (exactly what crossing a process boundary does),
+    # restore, replay the suffix.  Both the counters and the complete
+    # machine state — cache lines, LRU clocks, lock directories,
+    # directory entries, interconnect timeline — must equal the
+    # uninterrupted run's.
+    if len(trace) >= 2:
+        import json
+
+        from repro.serve.checkpoint import restore, snapshot
+
+        mid = len(trace) // 2
+        prefix_system = PIMCacheSystem(base, n_pes)
+        replay(trace.slice(0, mid), system=prefix_system, kernel="interpreted")
+        checkpoint = json.loads(json.dumps(snapshot(prefix_system)))
+        resumed_system = restore(checkpoint)
+        resumed = replay(
+            trace.slice(mid, len(trace)),
+            system=resumed_system,
+            kernel="interpreted",
+        ).as_dict()
+        refs += len(trace)
+        if resumed != flat:
+            raise Divergence(
+                "checkpoint-stats",
+                "snapshot/restore mid-run changed the counters: "
+                + _dict_diff("resumed", resumed, "uninterrupted", flat),
+            )
+        if snapshot(resumed_system) != snapshot(fast_system):
+            raise Divergence(
+                "checkpoint-state",
+                "snapshot/restore mid-run changed machine state (cache "
+                "lines, lock directories, directory entries, or clocks)",
             )
 
     # (3) Checked per-access loop with the structural invariant battery.

@@ -15,7 +15,14 @@ from hypothesis import given, settings, strategies as st
 
 from repro.trace.buffer import TraceBuffer
 from repro.trace.events import Area, Op
-from repro.trace.io import TraceFormatError, read_trace, write_trace
+from repro.trace.io import (
+    TraceFormatError,
+    is_chunked_trace,
+    iter_trace_chunks,
+    read_trace,
+    write_trace,
+    write_trace_chunked,
+)
 from repro.trace.synthetic import generate_random_trace
 
 
@@ -129,6 +136,89 @@ def test_truncated_column_names_the_shortfall(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# The chunked container (PIMTRACEC).
+
+
+def test_chunked_roundtrip_and_sniffing(tmp_path):
+    buffer = generate_random_trace(5_000, n_pes=4, seed=11)
+    path = tmp_path / "c.trace"
+    refs = write_trace_chunked(buffer, path, chunk_refs=700)
+    assert refs == len(buffer)
+    assert is_chunked_trace(path)
+    # read_trace sniffs the magic and loads the chunked file whole.
+    loaded = read_trace(path)
+    assert loaded.n_pes == buffer.n_pes
+    assert list(loaded) == list(buffer)
+
+
+def test_chunked_iteration_yields_bounded_chunks(tmp_path):
+    buffer = generate_random_trace(5_000, n_pes=4, seed=3)
+    path = tmp_path / "c.trace"
+    write_trace_chunked(buffer, path, chunk_refs=700)
+    chunks = list(iter_trace_chunks(path))
+    assert all(len(chunk) <= 700 for chunk in chunks)
+    assert sum(len(chunk) for chunk in chunks) == len(buffer)
+    rebuilt = [row for chunk in chunks for row in chunk]
+    assert rebuilt == list(buffer)
+
+
+def test_chunked_writer_streams_a_generator(tmp_path):
+    # The writer never needs the whole trace: a generator of chunk
+    # buffers is written as-is, one chunk at a time.
+    buffer = generate_random_trace(2_000, n_pes=2, seed=9)
+
+    def chunks():
+        for start in range(0, len(buffer), 512):
+            yield buffer.slice(start, min(start + 512, len(buffer)))
+
+    path = tmp_path / "gen.trace"
+    assert write_trace_chunked(chunks(), path) == len(buffer)
+    assert list(read_trace(path)) == list(buffer)
+
+
+def test_chunked_empty_roundtrip(tmp_path):
+    path = tmp_path / "empty.trace"
+    assert write_trace_chunked(iter(()), path, n_pes=5) == 0
+    assert is_chunked_trace(path)
+    loaded = read_trace(path)
+    assert loaded.n_pes == 5
+    assert len(loaded) == 0
+    assert list(iter_trace_chunks(path)) == []
+
+
+def test_flat_file_is_not_chunked(tmp_path):
+    buffer = generate_random_trace(100, n_pes=2, seed=1)
+    path = tmp_path / "flat.trace"
+    write_trace(buffer, path)
+    assert not is_chunked_trace(path)
+
+
+def test_chunked_missing_end_marker_is_diagnosed(tmp_path):
+    buffer = generate_random_trace(1_500, n_pes=2, seed=2).slice(0, 1_400)
+    path = tmp_path / "noend.trace"
+    write_trace_chunked(buffer, path, chunk_refs=700)
+    raw = path.read_bytes()
+    # Drop the trailing "E <chunks> <refs>\n" line only: every chunk is
+    # intact, so the error must say the end marker is missing.
+    cut = raw.rfind(b"E ")
+    path.write_bytes(raw[:cut])
+    with pytest.raises(TraceFormatError, match="end marker") as info:
+        read_trace(path)
+    assert info.value.byte_offset == cut
+    assert info.value.chunk_index == 2
+
+
+def test_chunked_end_marker_count_mismatch(tmp_path):
+    buffer = generate_random_trace(1_500, n_pes=2, seed=2).slice(0, 1_400)
+    path = tmp_path / "miscount.trace"
+    write_trace_chunked(buffer, path, chunk_refs=700)
+    raw = path.read_bytes()
+    path.write_bytes(raw.replace(b"E 2 1400", b"E 2 1399"))
+    with pytest.raises(TraceFormatError, match="end marker"):
+        read_trace(path)
+
+
+# ---------------------------------------------------------------------------
 # Hypothesis properties.
 
 _ref = st.tuples(
@@ -178,6 +268,54 @@ def test_property_foreign_endian_roundtrip(tmp_path_factory, refs):
     foreign_path = tmp_path_factory.mktemp("io") / "foreign.trace"
     foreign_path.write_bytes(raw)
     assert list(read_trace(foreign_path)) == list(buffer)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    refs=st.lists(_ref, min_size=1, max_size=120),
+    chunk_refs=st.integers(1, 40),
+)
+def test_property_chunked_roundtrip_identity(
+    tmp_path_factory, refs, chunk_refs
+):
+    buffer = _buffer_from(refs)
+    path = tmp_path_factory.mktemp("io") / "prop.trace"
+    assert write_trace_chunked(buffer, path, chunk_refs=chunk_refs) == len(
+        buffer
+    )
+    assert list(read_trace(path)) == list(buffer)
+    streamed = [row for chunk in iter_trace_chunks(path) for row in chunk]
+    assert streamed == list(buffer)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    refs=st.lists(_ref, min_size=1, max_size=60),
+    chunk_refs=st.integers(1, 16),
+    cut=st.integers(0, 10**9),
+)
+def test_property_chunked_truncation_carries_offset_and_chunk(
+    tmp_path_factory, refs, chunk_refs, cut
+):
+    # Truncating a chunked trace at any byte past the magic (except the
+    # final newline, which is cosmetic) raises TraceFormatError carrying
+    # the byte offset of the failure — and, once the header has parsed,
+    # the index of the chunk being read.
+    buffer = _buffer_from(refs)
+    path = tmp_path_factory.mktemp("io") / "whole.trace"
+    write_trace_chunked(buffer, path, chunk_refs=chunk_refs)
+    raw = path.read_bytes()
+    magic_end = raw.index(b"\n") + 1
+    header_end = raw.index(b"\n", magic_end) + 1
+    cut = magic_end + cut % (len(raw) - 1 - magic_end)
+    short = tmp_path_factory.mktemp("io") / "short.trace"
+    short.write_bytes(raw[:cut])
+    with pytest.raises(TraceFormatError) as info:
+        list(iter_trace_chunks(short))
+    assert info.value.byte_offset is not None
+    assert 0 <= info.value.byte_offset <= cut
+    if cut >= header_end:
+        assert info.value.chunk_index is not None
 
 
 @settings(max_examples=80, deadline=None)

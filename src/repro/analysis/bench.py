@@ -107,18 +107,29 @@ def measure_replay(
     config: Optional[SimulationConfig] = None,
     repeats: int = 5,
     kernel: Optional[str] = None,
+    mode: Optional[str] = None,
+    batch_refs: Optional[int] = None,
+    signature_bits: Optional[int] = None,
 ) -> Tuple[float, SystemStats]:
     """Best-of-*repeats* replay throughput in refs per CPU-second.
 
     *kernel* pins the replay kernel (``"interpreted"``/``"generated"``)
     for the kernel-comparison section; ``None`` is the production
-    ``"auto"`` selection.
+    ``"auto"`` selection.  ``mode="lazypim"`` measures the speculative
+    batch-coherence engine instead of the per-access path.
     """
     best = float("inf")
     stats = None
     for _ in range(repeats):
         start = time.process_time()
-        stats = replay(buffer, config, kernel=kernel)
+        stats = replay(
+            buffer,
+            config,
+            kernel=kernel,
+            mode=mode,
+            batch_refs=batch_refs,
+            signature_bits=signature_bits,
+        )
         elapsed = time.process_time() - start
         best = min(best, elapsed)
     assert stats is not None
@@ -363,6 +374,9 @@ def run_bench(
     overhead_bound: float = 0.95,
     clusters: int = 2,
     interconnect: str = "bus",
+    mode: str = "pessimistic",
+    batch_refs: Optional[int] = None,
+    signature_bits: Optional[int] = None,
 ) -> dict:
     """Run every benchmark section and return the report dict.
 
@@ -373,6 +387,13 @@ def run_bench(
     the probe layer promises zero cost while no sink is attached, and
     this is where that promise is checked (``repro bench
     --assert-overhead``).
+
+    ``mode="lazypim"`` measures the per-workload throughput section
+    through the speculative batch-coherence engine.  The kernel, sweep
+    and cluster sections always run pessimistically (their identity
+    cross-checks compare against paths speculation does not share), and
+    the recorded-baseline / no-sink comparisons are suppressed — a
+    speculative rate is not comparable with a per-access baseline.
     """
     if repeats is None:
         repeats = 3 if quick else 5
@@ -397,6 +418,7 @@ def run_bench(
         "benchmark": "replay",
         "quick": quick,
         "interconnect": interconnect,
+        "mode": mode,
         "host_cpus": os.cpu_count() or 1,
         # Affinity-aware: what the sweep/cluster pools can actually use
         # (a cgroup-pinned container reports its quota here, not the
@@ -407,16 +429,27 @@ def run_bench(
     }
     for name, buffer in workloads.items():
         logger.info("measuring %s (%d refs, %d repeats)", name, len(buffer), repeats)
-        rate, stats = measure_replay(buffer, base_config, repeats=repeats)
+        rate, stats = measure_replay(
+            buffer,
+            base_config,
+            repeats=repeats,
+            mode=None if mode == "pessimistic" else mode,
+            batch_refs=batch_refs,
+            signature_bits=signature_bits,
+        )
         total = sum(sum(row) for row in stats.refs)
         hits = sum(sum(row) for row in stats.hits)
-        # The recorded baselines were measured on the snooping bus; a
-        # directory run does strictly more bookkeeping, so comparing
-        # against them would be noise dressed up as regression.
+        # The recorded baselines were measured on the snooping bus with
+        # per-access coherence; a directory run does strictly more
+        # bookkeeping and a speculative run prices traffic differently,
+        # so comparing against them would be noise dressed up as
+        # regression.
         baseline = (
-            BASELINE_REFS_PER_SEC.get(name) if interconnect == "bus" else None
+            BASELINE_REFS_PER_SEC.get(name)
+            if interconnect == "bus" and mode == "pessimistic"
+            else None
         )
-        report["workloads"][name] = {
+        entry = {
             "protocol": base_config.protocol,
             "refs": len(buffer),
             "hit_ratio": round(hits / total, 4) if total else 0.0,
@@ -425,6 +458,10 @@ def run_bench(
             "baseline_refs_per_sec": baseline,
             "speedup": round(rate / baseline, 2) if baseline else None,
         }
+        if mode == "lazypim":
+            entry["batch_commits"] = stats.batch_commits
+            entry["batch_rollbacks"] = stats.batch_rollbacks
+        report["workloads"][name] = entry
 
     logger.info("comparing replay kernels on the hot workload")
     report["kernels"] = bench_kernels(
@@ -441,14 +478,15 @@ def run_bench(
         workloads["hot"], n_clusters=clusters, repeats=max(2, repeats - 2),
         interconnect=interconnect,
     )
-    if recorded:
+    if recorded and mode == "pessimistic":
         report["no_sink_overhead"] = compare_no_sink_overhead(
             report, recorded, bound=overhead_bound
         )
     report["manifest"] = build_manifest(
         config=base_config,
         wall_seconds=round(time.perf_counter() - bench_start, 3),
-        extra={"kind": "bench", "quick": quick, "repeats": repeats},
+        extra={"kind": "bench", "quick": quick, "repeats": repeats,
+               "mode": mode},
     )
     return report
 

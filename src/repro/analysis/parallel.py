@@ -65,6 +65,13 @@ _worker_queue = None
 _worker_chunk: int = DEFAULT_CHUNK_REFS
 _worker_interval: float = DEFAULT_INTERVAL_SECONDS
 _worker_points_done: int = 0
+#: Replay-kernel selection pinned at pool construction and shipped to
+#: every worker through the initializer.  Workers must NOT read
+#: ``REPRO_REPLAY_KERNEL`` themselves: a pool respawned after a
+#: :class:`SweepWorkerError` can start its workers in an environment
+#: that has changed since the original pool was built, and sweep
+#: results have to be a pure function of the pool's construction.
+_worker_kernel: Optional[str] = None
 
 
 def _init_worker(
@@ -72,17 +79,20 @@ def _init_worker(
     queue=None,
     chunk_refs: int = DEFAULT_CHUNK_REFS,
     interval_seconds: float = DEFAULT_INTERVAL_SECONDS,
+    kernel: Optional[str] = None,
 ) -> None:
     global _worker_trace, _worker_queue, _worker_chunk, _worker_interval
+    global _worker_kernel
     _worker_trace = read_trace(trace_path)
     _worker_queue = queue
     _worker_chunk = chunk_refs
     _worker_interval = interval_seconds
+    _worker_kernel = kernel
 
 
 def _replay_one(config: SimulationConfig) -> SystemStats:
     assert _worker_trace is not None, "worker initializer did not run"
-    return replay(_worker_trace, config)
+    return replay(_worker_trace, config, kernel=_worker_kernel or "auto")
 
 
 def _put_heartbeat(record: dict) -> None:
@@ -109,8 +119,9 @@ def _replay_point(
     plus a final ``done`` record when the point completes.
     """
     global _worker_points_done
+    kernel = _worker_kernel or "auto"
     if _worker_queue is None:
-        return replay(trace, config)
+        return replay(trace, config, kernel=kernel)
     worker = os.getpid()
     system = PIMCacheSystem(config, trace.n_pes)
     stats = system.stats
@@ -123,7 +134,7 @@ def _replay_point(
     done = 0
     for start in range(0, total, _worker_chunk):
         done = min(start + _worker_chunk, total)
-        replay(trace.slice(start, done), system=system)
+        replay(trace.slice(start, done), system=system, kernel=kernel)
         now = time.perf_counter()
         if now - mark_time < _worker_interval and done < total:
             continue
@@ -190,20 +201,22 @@ class SweepWorkerError(RuntimeError):
 
     The executor's own :class:`BrokenProcessPool` says only that *some*
     process vanished; this wraps it with what the caller needs to act —
-    how many configs were in flight and that the pool is no longer
-    usable — instead of hanging or surfacing a bare stdlib error.
-    Sweeps that must survive worker death belong on the checkpointing
-    job service (``repro serve``), which retries from the last
-    checkpoint; this error's message points there.
+    how many configs were in flight, and that the pool has already
+    respawned its workers (:meth:`SweepPool.respawn`) so a retried
+    :meth:`SweepPool.map` runs with the construction-time kernel
+    selection and is bit-identical to an undisturbed sweep.
+    Sweeps that must survive worker death mid-*point* belong on the
+    checkpointing job service (``repro serve``), which retries from the
+    last checkpoint; this error's message points there.
     """
 
     def __init__(self, jobs: int, n_configs: int):
         super().__init__(
             f"a sweep worker process died while mapping {n_configs} "
-            f"config(s) over {jobs} worker(s); the pool is broken and "
-            "must be rebuilt. For runs that should survive worker "
-            "death, submit through the checkpointing job service "
-            "(repro serve) instead."
+            f"config(s) over {jobs} worker(s); the pool has respawned "
+            "its workers, so the map may be retried. For runs that "
+            "should survive worker death mid-point, submit through the "
+            "checkpointing job service (repro serve) instead."
         )
         self.jobs = jobs
         self.n_configs = n_configs
@@ -238,14 +251,25 @@ class SweepPool:
         trace: Union[TraceBuffer, str, Path],
         jobs: Optional[int] = None,
         telemetry: Optional[SweepTelemetry] = None,
+        kernel: Optional[str] = None,
     ):
         if jobs is None:
             jobs = default_jobs()
         self.jobs = max(1, jobs)
         self.telemetry = telemetry
+        # Pin the replay-kernel selection now: workers (original AND
+        # respawned — see :meth:`respawn`) get it through the pool
+        # initializer instead of reading ``REPRO_REPLAY_KERNEL`` from
+        # whatever environment they happen to start in later.
+        self.kernel = (
+            kernel
+            if kernel is not None
+            else os.environ.get("REPRO_REPLAY_KERNEL")
+        )
         self._tmp_path: Optional[str] = None
         self._pool: Optional[ProcessPoolExecutor] = None
         self._trace: Optional[TraceBuffer] = None
+        self._initargs: Optional[tuple] = None
         if self.jobs <= 1:
             self._trace = (
                 read_trace(trace) if isinstance(trace, (str, Path)) else trace
@@ -260,21 +284,51 @@ class SweepPool:
             os.close(fd)
             write_trace(trace, self._tmp_path)
             trace_path = self._tmp_path
-        initargs = (trace_path,)
         if telemetry is not None:
             # A Manager queue proxy pickles into initargs under both
             # fork and spawn, unlike a bare multiprocessing.Queue.
-            initargs = (
+            self._initargs = (
                 trace_path,
                 telemetry.queue,
                 telemetry.chunk_refs,
                 telemetry.interval_seconds,
+                self.kernel,
             )
-        self._pool = ProcessPoolExecutor(
+        else:
+            self._initargs = (
+                trace_path,
+                None,
+                DEFAULT_CHUNK_REFS,
+                DEFAULT_INTERVAL_SECONDS,
+                self.kernel,
+            )
+        self._pool = self._spawn_pool()
+
+    def _spawn_pool(self) -> ProcessPoolExecutor:
+        assert self._initargs is not None
+        return ProcessPoolExecutor(
             max_workers=self.jobs,
             initializer=_init_worker,
-            initargs=initargs,
+            initargs=self._initargs,
         )
+
+    def respawn(self) -> None:
+        """Rebuild the worker processes after a :class:`SweepWorkerError`.
+
+        The replacement workers initialize from the pool's
+        construction-time state — same trace file, same telemetry
+        queue, same pinned kernel selection — so a retried
+        :meth:`map` is bit-identical to what the dead pool would have
+        produced.  (Reading ``REPRO_REPLAY_KERNEL`` at respawn time
+        instead used to let an environment change between the original
+        spawn and the retry silently switch kernels mid-sweep.)
+        Serial pools have no workers and need no respawn.
+        """
+        if self._initargs is None:
+            return
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = self._spawn_pool()
 
     @property
     def kind(self) -> str:
@@ -311,16 +365,26 @@ class SweepPool:
                     )
                 return list(self._pool.map(_replay_one, configs))
             except BrokenProcessPool as error:
+                # Replace the dead workers before surfacing the error:
+                # a caller that catches SweepWorkerError and retries
+                # map() gets a working pool with the construction-time
+                # kernel selection, not a stale broken executor.
+                self.respawn()
                 raise SweepWorkerError(self.jobs, len(configs)) from error
         assert self._trace is not None
+        kernel = self.kernel or "auto"
         if self.telemetry is None:
-            return [replay(self._trace, config) for config in configs]
+            return [
+                replay(self._trace, config, kernel=kernel)
+                for config in configs
+            ]
         # Serial mode streams heartbeats too — same records, emitted
         # from the parent process itself through the module globals.
-        global _worker_queue, _worker_chunk, _worker_interval
+        global _worker_queue, _worker_chunk, _worker_interval, _worker_kernel
         _worker_queue = self.telemetry.queue
         _worker_chunk = self.telemetry.chunk_refs
         _worker_interval = self.telemetry.interval_seconds
+        _worker_kernel = self.kernel
         try:
             return [
                 _replay_point(self._trace, config, index)
@@ -328,6 +392,7 @@ class SweepPool:
             ]
         finally:
             _worker_queue = None
+            _worker_kernel = None
 
     def close(self) -> None:
         """Shut the workers down and delete the pool's temp trace file."""
@@ -446,8 +511,10 @@ def run_sweep_report(
 
 def _replay_cluster_task(task):
     """Pool task: replay one cluster's shard."""
-    shard, config, pes_per_cluster, cluster_index = task
-    return replay_shard(shard, config, pes_per_cluster, cluster_index)
+    shard, config, pes_per_cluster, cluster_index, kernel = task
+    return replay_shard(
+        shard, config, pes_per_cluster, cluster_index, kernel=kernel
+    )
 
 
 def run_clustered(
@@ -482,9 +549,13 @@ def run_clustered(
     logger.info(
         "clustered replay: %d clusters across %d workers", n_clusters, jobs
     )
+    # Resolve the kernel selection in the parent, exactly once: worker
+    # processes must not consult their own environment (same rule as
+    # :class:`SweepPool`).
+    kernel = os.environ.get("REPRO_REPLAY_KERNEL") or "auto"
     if jobs <= 1 or n_clusters == 1:
         results = [
-            replay_shard(shard, config, pes_per_cluster, index)
+            replay_shard(shard, config, pes_per_cluster, index, kernel=kernel)
             for index, shard in enumerate(shards)
         ]
     else:
@@ -494,7 +565,7 @@ def run_clustered(
         # milliseconds for typical traces) rather than through a
         # temp-file hand-off.
         tasks = [
-            (shard, config, pes_per_cluster, index)
+            (shard, config, pes_per_cluster, index, kernel)
             for index, shard in enumerate(shards)
         ]
         with ProcessPoolExecutor(max_workers=jobs) as pool:

@@ -41,28 +41,55 @@ _NETWORK_COLUMNS = (
     ("net stall", "network_stall_cycles", "{:,}".format),
 )
 
+#: Extra columns present when the comparison ran in speculative mode.
+_SPECULATIVE_COLUMNS = (
+    ("commits", "batch_commits", "{:,}".format),
+    ("rollbacks", "batch_rollbacks", "{:,}".format),
+)
+
 
 def protocol_comparison(
     buffer: TraceBuffer,
     base: Optional[SimulationConfig] = None,
     protocols: Optional[Sequence[str]] = None,
     n_pes: Optional[int] = None,
+    mode: Optional[str] = None,
+    batch_refs: Optional[int] = None,
+    signature_bits: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Replay *buffer* under each protocol (default: the full registry).
 
     A *base* config with ``cluster.n_clusters > 1`` runs each protocol
     through the clustered replay path instead and adds
     ``network_messages`` / ``network_stall_cycles`` per row.
+
+    ``mode="lazypim"`` routes every replay through the speculative
+    batch-coherence engine (docs/SPECULATIVE.md) and adds
+    ``batch_commits`` / ``batch_rollbacks`` per row.
     """
     if protocols is None:
         protocols = protocol_names()
     if base is None or base.cluster.n_clusters == 1:
-        return compare_protocols(buffer, base, protocols)
+        return compare_protocols(
+            buffer,
+            base,
+            protocols,
+            mode=mode,
+            batch_refs=batch_refs,
+            signature_bits=signature_bits,
+        )
     results: Dict[str, Dict[str, float]] = {}
     for name in protocols:
-        clustered = replay_clustered(buffer, protocol_config(name, base), n_pes)
+        clustered = replay_clustered(
+            buffer,
+            protocol_config(name, base),
+            n_pes,
+            mode=mode,
+            batch_refs=batch_refs,
+            signature_bits=signature_bits,
+        )
         stats = clustered.stats
-        results[name] = {
+        row = {
             "bus_cycles": stats.bus_cycles_total,
             "memory_busy_cycles": stats.memory_busy_cycles,
             "swap_outs": stats.swap_outs,
@@ -71,14 +98,21 @@ def protocol_comparison(
             "network_messages": clustered.network.messages,
             "network_stall_cycles": clustered.network.stall_cycles,
         }
+        if mode == "lazypim":
+            row["batch_commits"] = stats.batch_commits
+            row["batch_rollbacks"] = stats.batch_rollbacks
+        results[name] = row
     return results
 
 
 def _columns_for(comparison: Dict[str, Dict[str, float]]):
     first = next(iter(comparison.values()), {})
+    columns = _COLUMNS
     if "network_messages" in first:
-        return _COLUMNS + _NETWORK_COLUMNS
-    return _COLUMNS
+        columns = columns + _NETWORK_COLUMNS
+    if "batch_commits" in first:
+        columns = columns + _SPECULATIVE_COLUMNS
+    return columns
 
 
 def format_protocol_comparison(

@@ -168,6 +168,30 @@ def _add_cluster_options(parser: argparse.ArgumentParser) -> None:
                              "(default 4; needs --clusters > 1)")
 
 
+def _add_mode_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--mode", default="pessimistic",
+                        choices=["pessimistic", "lazypim"],
+                        help="coherence execution mode: per-access "
+                             "(pessimistic, the default) or speculative "
+                             "batch coherence (lazypim; "
+                             "docs/SPECULATIVE.md)")
+    parser.add_argument("--batch-refs", type=int, default=None,
+                        help="lazypim: references per speculative batch "
+                             "(default 256)")
+    parser.add_argument("--signature-bits", type=int, default=None,
+                        help="lazypim: read/write signature width in "
+                             "bits, a power of two (default 256)")
+
+
+def _mode_kwargs(args) -> dict:
+    """The replay-mode keyword arguments of a mode-aware command."""
+    return {
+        "mode": getattr(args, "mode", "pessimistic"),
+        "batch_refs": getattr(args, "batch_refs", None),
+        "signature_bits": getattr(args, "signature_bits", None),
+    }
+
+
 def _print_run_summary(result) -> None:
     machine = result if hasattr(result, "reductions") else result.machine
     print(f"answer:        {machine.answer}")
@@ -192,6 +216,30 @@ def _print_run_summary(result) -> None:
               f"net stall: {network.stall_cycles:,} cycles")
 
 
+def _print_speculative_replay(trace, config, args) -> None:
+    """Replay *trace* through the batch-coherence engine and print the
+    speculative counters.
+
+    Machine execution is access-driven, so ``run --mode lazypim``
+    defines speculation as a property of the recorded reference stream:
+    the run itself is simulated per-access, then its trace is replayed
+    speculatively (docs/SPECULATIVE.md).
+    """
+    kwargs = _mode_kwargs(args)
+    if config.cluster.n_clusters > 1:
+        from repro.cluster.replay import replay_clustered
+
+        stats = replay_clustered(trace, config, **kwargs).stats
+    else:
+        stats = replay(trace, config, **kwargs)
+    print(f"speculative replay ({args.mode}) of the recorded trace:")
+    print(f"  commits:    {stats.batch_commits:,}   "
+          f"rollbacks: {stats.batch_rollbacks:,}")
+    print(f"  settles:    {stats.signature_settles:,}   "
+          f"elided invalidations: {stats.batch_elided_invalidations:,}")
+    print(f"  bus cycles: {stats.bus_cycles_total:,}")
+
+
 def cmd_run(args) -> int:
     machine_config = MachineConfig(
         n_pes=args.pes, seed=args.seed, gc_threshold_words=args.gc
@@ -207,6 +255,8 @@ def cmd_run(args) -> int:
         print(f"benchmark {args.program!r} at scale {args.scale!r} "
               f"on {args.pes} PEs  [answer verified]")
         _print_run_summary(result)
+        if args.mode == "lazypim":
+            _print_speculative_replay(result.trace, _sim_config(args), args)
         if args.output:
             write_trace(result.trace, args.output)
             print(f"trace written: {args.output} ({len(result.trace):,} refs)")
@@ -222,6 +272,8 @@ def cmd_run(args) -> int:
     machine = KL1Machine(path.read_text(), machine_config, _sim_config(args))
     result = machine.run(args.query)
     _print_run_summary(result)
+    if args.mode == "lazypim" and result.trace is not None:
+        _print_speculative_replay(result.trace, _sim_config(args), args)
     if args.output and result.trace is not None:
         write_trace(result.trace, args.output)
         print(f"trace written: {args.output} ({len(result.trace):,} refs)")
@@ -277,12 +329,17 @@ def cmd_trace(args) -> int:
               f"of <= {args.chunk:,} refs -> {args.output}")
         return 0
     buffer = read_trace(args.file)
-    stats = replay(buffer, _sim_config(args))
+    stats = replay(buffer, _sim_config(args), **_mode_kwargs(args))
     print(f"replayed {stats.total_refs:,} refs from {args.file}")
     print(f"miss ratio:  {stats.miss_ratio:.4f}")
     print(f"bus cycles:  {stats.bus_cycles_total:,}")
     print(f"swap-ins:    {stats.swap_ins:,}   swap-outs: {stats.swap_outs:,}")
     print(f"c2c:         {stats.c2c_transfers:,}")
+    if args.mode == "lazypim":
+        print(f"commits:     {stats.batch_commits:,}   "
+              f"rollbacks: {stats.batch_rollbacks:,}")
+        print(f"settles:     {stats.signature_settles:,}   "
+              f"elided invalidations: {stats.batch_elided_invalidations:,}")
     return 0
 
 
@@ -331,6 +388,9 @@ def cmd_serve(args) -> int:
                 max_retries=args.max_retries,
                 kernel=None if args.kernel == "auto" else args.kernel,
                 seed=args.seed,
+                mode=None if args.mode == "pessimistic" else args.mode,
+                batch_refs=args.batch_refs,
+                signature_bits=args.signature_bits,
             )
         except JobError as error:
             print(f"error: {error}", file=sys.stderr)
@@ -462,6 +522,9 @@ def cmd_bench(args) -> int:
         ),
         clusters=args.clusters,
         interconnect=args.interconnect,
+        mode=args.mode,
+        batch_refs=args.batch_refs,
+        signature_bits=args.signature_bits,
     )
     print(bench.format_report(report))
     path = bench.write_report(report, args.output)
@@ -784,13 +847,15 @@ def cmd_compare(args) -> int:
         ),
         args,
     )
-    comparison = protocol_comparison(buffer, base, protocols, n_pes=pes)
+    comparison = protocol_comparison(
+        buffer, base, protocols, n_pes=pes, **_mode_kwargs(args)
+    )
     if args.json or args.output:
         report = comparison_report(
             comparison,
             base=base,
             extra={"source": name, "refs": len(buffer), "pes": pes,
-                   "trace_cache_key": cache_key},
+                   "trace_cache_key": cache_key, "mode": args.mode},
         )
         validate_comparison(report)
         text = json.dumps(report, indent=2)
@@ -864,6 +929,11 @@ def cmd_verify(args) -> int:
                     results.append(result)
                     clean = clean and result.clean
             if args.fuzz or args.fuzz_only:
+                modes = (
+                    ("pessimistic", "lazypim")
+                    if args.mode == "both"
+                    else (args.mode,)
+                )
                 fuzz_report = run_fuzz(
                     seed=args.seed,
                     budget=args.budget,
@@ -872,6 +942,7 @@ def cmd_verify(args) -> int:
                     cluster_counts=cluster_counts,
                     protocols=names if args.protocol else None,
                     interconnect=args.interconnect,
+                    modes=modes,
                 )
                 clean = clean and fuzz_report.clean
     except ValueError as error:
@@ -936,6 +1007,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--output", "-o", help="write the trace to a file")
     _add_cache_options(run_parser)
     _add_cluster_options(run_parser)
+    _add_mode_options(run_parser)
     run_parser.set_defaults(handler=cmd_run)
 
     tables_parser = commands.add_parser("tables", help="regenerate Tables 1-5")
@@ -966,6 +1038,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay_parser = trace_commands.add_parser("replay")
     replay_parser.add_argument("file")
     _add_cache_options(replay_parser)
+    _add_mode_options(replay_parser)
     replay_parser.set_defaults(handler=cmd_trace)
     convert = trace_commands.add_parser(
         "convert",
@@ -1020,6 +1093,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="seed recorded in the provenance manifest")
     _add_cache_options(submit)
     _add_cluster_options(submit)
+    _add_mode_options(submit)
     submit.set_defaults(handler=cmd_serve)
     serve_run = serve_commands.add_parser(
         "run", help="run queued/checkpointed jobs under the supervisor"
@@ -1108,6 +1182,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="history JSONL path (default "
                                    "BENCH_history.jsonl; appended whenever "
                                    "given or --compare is set)")
+    _add_mode_options(bench_parser)
     bench_parser.set_defaults(handler=cmd_bench)
 
     profile_parser = commands.add_parser(
@@ -1275,6 +1350,7 @@ def build_parser() -> argparse.ArgumentParser:
                                      "(implies --json)")
     _add_cache_options(compare_parser, protocol=False)
     _add_cluster_options(compare_parser)
+    _add_mode_options(compare_parser)
     compare_parser.set_defaults(handler=cmd_compare)
 
     verify_parser = commands.add_parser(
@@ -1323,6 +1399,13 @@ def build_parser() -> argparse.ArgumentParser:
                                     "both the model check and the fuzzer "
                                     "(default: check the bus, rotate the "
                                     "fuzz variants)")
+    verify_parser.add_argument("--mode", default="pessimistic",
+                               choices=["pessimistic", "lazypim", "both"],
+                               help="execution mode(s) the fuzzer rotates "
+                                    "over — 'lazypim' adds the speculative "
+                                    "batch-coherence cases including a "
+                                    "forced-conflict rollback drill "
+                                    "(default pessimistic)")
     verify_parser.add_argument("--demo-broken", action="store_true",
                                help="model-check a deliberately broken pim "
                                     "variant and print its counterexample "

@@ -116,6 +116,9 @@ def replay_shard(
     pes_per_cluster: int,
     cluster_index: int,
     kernel: Optional[str] = None,
+    mode: Optional[str] = None,
+    batch_refs: Optional[int] = None,
+    signature_bits: Optional[int] = None,
 ) -> "tuple[SystemStats, NetworkStats]":
     """Replay one cluster's shard through the fast kernel.
 
@@ -125,9 +128,20 @@ def replay_shard(
     :func:`repro.core.replay.replay` (``None`` is the production
     ``"auto"`` selection; tests pin ``"interpreted"`` vs
     ``"generated"`` to hold the two loops identical on shards too).
+    *mode* selects the coherence execution mode per shard: under
+    ``"lazypim"`` each cluster runs its own independent speculative
+    batch engine over its shard — speculation is a per-bus mechanism,
+    so per-cluster batching is the faithful clustered composition.
     """
     system = ClusterCacheSystem(config, pes_per_cluster, cluster_index)
-    stats = replay(shard, system=system, kernel=kernel)
+    stats = replay(
+        shard,
+        system=system,
+        kernel=kernel,
+        mode=mode,
+        batch_refs=batch_refs,
+        signature_bits=signature_bits,
+    )
     return stats, system.network.stats
 
 
@@ -136,6 +150,9 @@ def replay_clustered(
     config: Optional[SimulationConfig] = None,
     n_pes: Optional[int] = None,
     kernel: Optional[str] = None,
+    mode: Optional[str] = None,
+    batch_refs: Optional[int] = None,
+    signature_bits: Optional[int] = None,
 ) -> ClusterStats:
     """Serial per-cluster fast-kernel replay with deterministic merge."""
     if config is None:
@@ -148,7 +165,14 @@ def replay_clustered(
     networks = []
     for cluster_index, shard in enumerate(shards):
         stats, network = replay_shard(
-            shard, config, pes_per_cluster, cluster_index, kernel=kernel
+            shard,
+            config,
+            pes_per_cluster,
+            cluster_index,
+            kernel=kernel,
+            mode=mode,
+            batch_refs=batch_refs,
+            signature_bits=signature_bits,
         )
         per_cluster.append(stats)
         networks.append(network)

@@ -49,6 +49,9 @@ def compare_protocols(
     buffer: TraceBuffer,
     base: Optional[SimulationConfig] = None,
     protocols: Optional[Sequence[str]] = None,
+    mode: Optional[str] = None,
+    batch_refs: Optional[int] = None,
+    signature_bits: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Replay *buffer* under several protocols and summarize the ablation.
 
@@ -58,17 +61,31 @@ def compare_protocols(
     whose expected shape (the paper's rationale for SM) is that Illinois
     performs strictly more memory copybacks whenever dirty blocks move
     cache-to-cache.
+
+    ``mode="lazypim"`` replays each protocol through the speculative
+    batch-coherence engine instead (docs/SPECULATIVE.md) and adds
+    ``batch_commits`` / ``batch_rollbacks`` columns.
     """
     if protocols is None:
         protocols = ("pim", "illinois")
     results = {}
     for name in protocols:
-        stats = replay(buffer, protocol_config(name, base))
-        results[name] = {
+        stats = replay(
+            buffer,
+            protocol_config(name, base),
+            mode=mode,
+            batch_refs=batch_refs,
+            signature_bits=signature_bits,
+        )
+        row = {
             "bus_cycles": stats.bus_cycles_total,
             "memory_busy_cycles": stats.memory_busy_cycles,
             "swap_outs": stats.swap_outs,
             "c2c_transfers": stats.c2c_transfers,
             "miss_ratio": stats.miss_ratio,
         }
+        if mode == "lazypim":
+            row["batch_commits"] = stats.batch_commits
+            row["batch_rollbacks"] = stats.batch_rollbacks
+        results[name] = row
     return results

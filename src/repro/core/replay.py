@@ -183,6 +183,9 @@ def replay(
     check_invariants_every: Optional[int] = None,
     system: Optional[PIMCacheSystem] = None,
     kernel: Optional[str] = None,
+    mode: Optional[str] = None,
+    batch_refs: Optional[int] = None,
+    signature_bits: Optional[int] = None,
 ) -> SystemStats:
     """Replay *buffer* against a fresh cache system and return its stats.
 
@@ -190,6 +193,15 @@ def replay(
     environment toggle — see :func:`invariant_check_interval`) switches
     to the checked per-access loop and validates the coherence
     invariants every N references.
+
+    *mode* selects the coherence execution mode: ``"pessimistic"``
+    (default) is the paper's per-access protocol below;
+    ``"lazypim"`` delegates to
+    :func:`repro.core.speculative.replay_speculative` — speculative
+    batches of *batch_refs* references with *signature_bits*-wide
+    conflict signatures, settled in bulk or rolled back.  Both kernels,
+    the interconnect backends and the invariant toggle behave
+    identically in either mode.
 
     *kernel* picks the replay loop (``REPRO_REPLAY_KERNEL`` is the
     environment-level equivalent; the explicit argument wins):
@@ -218,6 +230,33 @@ def replay(
     caller owns system construction, so the diagnostic replay cannot
     be rebuilt here).
     """
+    if mode is not None and mode not in ("pessimistic", "lazypim"):
+        raise ValueError(
+            f"unknown replay mode {mode!r}; choose from "
+            "('pessimistic', 'lazypim')"
+        )
+    if mode == "lazypim":
+        from repro.core.speculative import (
+            DEFAULT_BATCH_REFS,
+            DEFAULT_SIGNATURE_BITS,
+            replay_speculative,
+        )
+
+        return replay_speculative(
+            buffer,
+            config=config,
+            n_pes=n_pes,
+            check_invariants_every=check_invariants_every,
+            system=system,
+            kernel=kernel,
+            batch_refs=(
+                batch_refs if batch_refs is not None else DEFAULT_BATCH_REFS
+            ),
+            signature_bits=(
+                signature_bits if signature_bits is not None
+                else DEFAULT_SIGNATURE_BITS
+            ),
+        )
     caller_system = system
     if caller_system is not None:
         config = caller_system.config

@@ -56,6 +56,10 @@ class SystemStats:
         "directory_forwards",
         "directory_invalidations",
         "directory_indirection_cycles",
+        "batch_commits",
+        "batch_rollbacks",
+        "signature_settles",
+        "batch_elided_invalidations",
         "memory_busy_cycles",
         "bus_wait_cycles",
         "lock_spin_cycles",
@@ -107,6 +111,16 @@ class SystemStats:
         #: Extra PE cycles of directory indirection (hop cost per
         #: third-party message) — its own cycle-ledger bucket.
         self.directory_indirection_cycles = 0
+        # Speculative batch coherence (zero outside mode="lazypim").
+        #: Batches whose signatures were conflict-free and settled in bulk.
+        self.batch_commits = 0
+        #: Batches that conflicted, rolled back, and replayed pessimistically.
+        self.batch_rollbacks = 0
+        #: Deferred coherence transactions replayed at a batch commit.
+        self.signature_settles = 0
+        #: Deferred invalidation rounds coalesced away at a batch commit
+        #: (duplicates of an already-settled (pe, area) invalidation).
+        self.batch_elided_invalidations = 0
         #: Cycles the shared-memory modules spend servicing requests —
         #: the figure the SM state is designed to reduce (Section 3.1).
         self.memory_busy_cycles = 0
@@ -154,6 +168,10 @@ class SystemStats:
         "directory_forwards",
         "directory_invalidations",
         "directory_indirection_cycles",
+        "batch_commits",
+        "batch_rollbacks",
+        "signature_settles",
+        "batch_elided_invalidations",
         "memory_busy_cycles",
         "bus_wait_cycles",
         "lock_spin_cycles",
@@ -376,6 +394,10 @@ class SystemStats:
             "directory_forwards": self.directory_forwards,
             "directory_invalidations": self.directory_invalidations,
             "directory_indirection_cycles": self.directory_indirection_cycles,
+            "batch_commits": self.batch_commits,
+            "batch_rollbacks": self.batch_rollbacks,
+            "signature_settles": self.signature_settles,
+            "batch_elided_invalidations": self.batch_elided_invalidations,
             "memory_busy_cycles": self.memory_busy_cycles,
             "bus_wait_cycles": self.bus_wait_cycles,
             "lock_spin_cycles": self.lock_spin_cycles,

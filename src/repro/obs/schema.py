@@ -578,6 +578,16 @@ def validate_job(record: Mapping) -> Mapping:
     kernel = _require(record, where, "kernel", None)
     if kernel is not None and not isinstance(kernel, str):
         raise SchemaError(f"{where}.kernel: expected str or null")
+    # Optional speculative-mode fields (absent in pre-mode ledgers).
+    mode = record.get("mode")
+    if mode is not None and mode not in ("pessimistic", "lazypim"):
+        raise SchemaError(f"{where}.mode: unknown mode {mode!r}")
+    for key in ("batch_refs", "signature_bits"):
+        value = record.get(key)
+        if value is not None and (
+            isinstance(value, bool) or not isinstance(value, int) or value < 1
+        ):
+            raise SchemaError(f"{where}.{key}: expected a positive int or null")
     error = _require(record, where, "error", None)
     if error is not None:
         entry = f"{where}.error"

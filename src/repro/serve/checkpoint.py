@@ -78,8 +78,18 @@ def _restore_stats(stats: SystemStats, state: dict) -> None:
 def _cache_state(cache: Cache) -> dict:
     return {
         "tick": cache._tick,
+        # Copy the data words: ``line.data`` is mutated in place by the
+        # system, and a snapshot that aliases live state silently decays
+        # — the JSON round trip of persisted checkpoints used to mask
+        # this, but the in-process rollback path reuses the dict as-is.
         "lines": [
-            [block, int(line.state), line.area, line.lru, line.data]
+            [
+                block,
+                int(line.state),
+                line.area,
+                line.lru,
+                list(line.data) if line.data is not None else None,
+            ]
             for block, line in sorted(cache.lines())
         ],
     }
@@ -90,7 +100,13 @@ def _restore_cache(cache: Cache, state: dict) -> None:
         raise ValueError("restore target cache is not empty")
     for block, line_state, area, lru, data in state["lines"]:
         tag = block >> cache._set_shift
-        line = CacheLine(tag, CacheState(line_state), area, lru, data)
+        line = CacheLine(
+            tag,
+            CacheState(line_state),
+            area,
+            lru,
+            list(data) if data is not None else None,
+        )
         cache._sets[block & cache._set_mask][tag] = line
         cache._lines[block] = line
     cache._tick = state["tick"]
@@ -232,6 +248,34 @@ def restore(checkpoint: dict):
         flat = PIMCacheSystem(config, n_pes)
     _restore_system(flat, state)
     return flat
+
+
+def restore_into(system, checkpoint: dict) -> None:
+    """Restore a :func:`snapshot` into an *existing* live system, in place.
+
+    This is the speculative-rollback primitive
+    (:mod:`repro.core.speculative`): a conflicting batch is undone by
+    rewinding the very system object the replay loop holds, so every
+    alias into it (``stats.pe_cycles``, the interconnect's ``_stats``,
+    bound handler methods) stays valid.  The checkpoint must have been
+    taken from *this* system (same shape): config and PE count are not
+    re-validated here, and unlike :func:`restore` no fresh system is
+    built.
+    """
+    if isinstance(system, ClusteredSystem):
+        for sub, state in zip(system.systems, checkpoint["systems"]):
+            _restore_system_into(sub, state)
+        return
+    _restore_system_into(system, checkpoint["systems"][0])
+
+
+def _restore_system_into(system: PIMCacheSystem, state: dict) -> None:
+    for cache in system.caches:
+        cache.flush()
+    entries = getattr(system.interconnect, "entries", None)
+    if entries is not None:
+        entries.clear()
+    _restore_system(system, state)
 
 
 def write_checkpoint(checkpoint: dict, path: Union[str, Path]) -> Path:

@@ -133,12 +133,23 @@ class JobStore:
         max_retries: int = DEFAULT_MAX_RETRIES,
         kernel: Optional[str] = None,
         seed: Optional[int] = None,
+        mode: Optional[str] = None,
+        batch_refs: Optional[int] = None,
+        signature_bits: Optional[int] = None,
     ) -> str:
-        """Enqueue one simulation; returns its job id."""
+        """Enqueue one simulation; returns its job id.
+
+        *mode*, *batch_refs* and *signature_bits* select the coherence
+        execution mode (see :func:`repro.core.replay.replay`); they are
+        recorded in the ledger so retried workers replay under exactly
+        the submitted mode.
+        """
         if chunk_refs < 1 or checkpoint_every < 1 or max_retries < 1:
             raise JobError(
                 "chunk_refs, checkpoint_every and max_retries must be >= 1"
             )
+        if mode is not None and mode not in ("pessimistic", "lazypim"):
+            raise JobError(f"unknown replay mode {mode!r}")
         trace_key = self.store_trace(trace, chunk_refs=chunk_refs)
         if n_pes is None:
             if isinstance(trace, TraceBuffer):
@@ -160,6 +171,9 @@ class JobStore:
             "retries": 0,
             "max_retries": max_retries,
             "kernel": kernel,
+            "mode": mode,
+            "batch_refs": batch_refs,
+            "signature_bits": signature_bits,
             "error": None,
             "manifest": build_manifest(
                 config=config,
@@ -348,6 +362,9 @@ def _job_worker(root: str, job_id: str) -> None:
         kernel=kernel,
         system=system,
         on_chunk=on_chunk,
+        mode=record.get("mode"),
+        batch_refs=record.get("batch_refs"),
+        signature_bits=record.get("signature_bits"),
     )
     stats_dict = result.as_dict()
     store.append_heartbeat(

@@ -75,6 +75,9 @@ def replay_stream(
     kernel: Optional[str] = None,
     system=None,
     on_chunk: Optional[Callable[[int, int, object], None]] = None,
+    mode: Optional[str] = None,
+    batch_refs: Optional[int] = None,
+    signature_bits: Optional[int] = None,
 ):
     """Replay *source* chunk-by-chunk through one persistent system.
 
@@ -86,6 +89,18 @@ def replay_stream(
     the config's shape); *on_chunk* is called after every chunk with
     ``(chunk_index, refs_done, system)`` — the hook the job service
     checkpoints and heartbeats from.
+
+    ``mode="lazypim"`` streams speculatively: each chunk runs as a
+    closed sequence of speculative batches (chunk boundaries force a
+    batch commit), so every ``on_chunk`` — and therefore every job
+    checkpoint — lands on fully-settled state, and a resume from a
+    chunk-boundary checkpoint is bit-identical to the undisturbed
+    streamed run.  Streamed speculative counters are a deterministic
+    function of ``(trace, config, chunk_refs, batch_refs)``; they equal
+    the monolithic :func:`~repro.core.speculative.replay_speculative`
+    run exactly when ``chunk_refs`` is a multiple of *batch_refs* and
+    the stream carries no lock/flagged references (each of which resets
+    the batch phase).
     """
     chunks = chunk_stream(source, chunk_refs)
     refs_done = 0
@@ -100,7 +115,14 @@ def replay_stream(
                 system = ClusteredSystem(config, n_pes)
             else:
                 system = PIMCacheSystem(config, n_pes)
-        _replay_chunk(system, chunk, kernel)
+        _replay_chunk(
+            system,
+            chunk,
+            kernel,
+            mode=mode,
+            batch_refs=batch_refs,
+            signature_bits=signature_bits,
+        )
         refs_done += len(chunk)
         if on_chunk is not None:
             on_chunk(index, refs_done, system)
@@ -116,15 +138,36 @@ def replay_stream(
     return stream_result(system)
 
 
-def _replay_chunk(system, chunk: TraceBuffer, kernel: Optional[str]) -> None:
+def _replay_chunk(
+    system,
+    chunk: TraceBuffer,
+    kernel: Optional[str],
+    mode: Optional[str] = None,
+    batch_refs: Optional[int] = None,
+    signature_bits: Optional[int] = None,
+) -> None:
     """Advance *system* by one chunk (flat or clustered)."""
     if isinstance(system, ClusteredSystem):
         shards = split_trace(chunk, system.n_pes, system.n_clusters)
         for sub, shard in zip(system.systems, shards):
             if len(shard):
-                replay(shard, system=sub, kernel=kernel)
+                replay(
+                    shard,
+                    system=sub,
+                    kernel=kernel,
+                    mode=mode,
+                    batch_refs=batch_refs,
+                    signature_bits=signature_bits,
+                )
         return
-    replay(chunk, system=system, kernel=kernel)
+    replay(
+        chunk,
+        system=system,
+        kernel=kernel,
+        mode=mode,
+        batch_refs=batch_refs,
+        signature_bits=signature_bits,
+    )
 
 
 def stream_result(system):

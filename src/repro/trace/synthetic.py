@@ -185,6 +185,60 @@ def generate_random_trace(
     return buffer
 
 
+def generate_false_sharing_trace(
+    n_refs: int,
+    n_pes: int = 4,
+    seed: int = 0,
+    n_hot_blocks: int = 8,
+    block_words: int = 4,
+    p_private: float = 0.25,
+) -> TraceBuffer:
+    """A trace engineered to defeat speculative batching.
+
+    Round-robin over a small pool of hot heap blocks: each round one PE
+    writes a word of the round's hot block while every other PE reads a
+    *different* word of the same block — the canonical false-sharing
+    pattern (word-disjoint, block-overlapping).  A sprinkle of private
+    per-PE references (*p_private*) keeps caches realistically mixed.
+
+    Under ``mode="lazypim"`` (:mod:`repro.core.speculative`) every
+    speculative batch long enough to contain one full round holds a
+    write and a concurrent remote read of the same block, so its
+    signatures conflict and the batch rolls back: this generator
+    *guarantees* a nonzero rollback count for any batch size above
+    ``2 * n_pes``, which the forced-conflict fuzz rotation and the CI
+    rollback drill rely on.  It emits only ``R``/``W`` (no purging
+    commands, no locks), so every read targets live data and the flat
+    value oracle of :mod:`repro.verify.oracle` applies unchanged.
+    """
+    rng = random.Random(seed)
+    buffer = TraceBuffer(n_pes=n_pes)
+    heap_base = AREA_BASE[Area.HEAP]
+    #: Private regions sit past the hot pool so they never collide.
+    private_base = heap_base + (n_hot_blocks + 1) * block_words
+    append = buffer.append
+    emitted = 0
+    round_index = 0
+    while emitted < n_refs:
+        hot = heap_base + (round_index % n_hot_blocks) * block_words
+        writer = round_index % n_pes
+        for pe in range(n_pes):
+            if emitted >= n_refs:
+                break
+            if pe == writer:
+                append(pe, Op.W, Area.HEAP, hot + (pe % block_words))
+            else:
+                append(pe, Op.R, Area.HEAP, hot + (pe % block_words))
+            emitted += 1
+            if emitted < n_refs and rng.random() < p_private:
+                address = private_base + pe * 64 + rng.randrange(32)
+                op = Op.W if rng.random() < 0.5 else Op.R
+                append(pe, op, Area.HEAP, address)
+                emitted += 1
+        round_index += 1
+    return buffer
+
+
 def generate_contract_trace(
     n_refs: int,
     n_pes: int = 4,

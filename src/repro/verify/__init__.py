@@ -26,6 +26,7 @@ from repro.verify.oracle import (
     FuzzReport,
     run_case,
     run_fuzz,
+    run_lazypim_case,
 )
 from repro.verify.reference import (
     READ_VALUE_OPS,
@@ -49,6 +50,7 @@ __all__ = [
     "check_protocol",
     "run_case",
     "run_fuzz",
+    "run_lazypim_case",
     "shrink_trace",
     "subset",
     "value_for",

@@ -26,7 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.cluster.replay import replay_clustered, replay_interleaved
+from repro.cluster.replay import replay_clustered, replay_interleaved, split_trace
+from repro.cluster.system import ClusterCacheSystem
 from repro.core.config import (
     CacheConfig,
     OptimizationConfig,
@@ -34,10 +35,19 @@ from repro.core.config import (
 )
 from repro.core.protocol import codegen, protocol_names
 from repro.core.replay import ReplayBlockedError, replay, replay_access_driven
+from repro.core.speculative import (
+    DEFAULT_BATCH_REFS,
+    DEFAULT_SIGNATURE_BITS,
+    SpeculativeDriver,
+    replay_speculative,
+)
 from repro.core.system import PIMCacheSystem
 from repro.trace.buffer import TraceBuffer
 from repro.trace.events import AREA_NAMES, OP_NAMES
-from repro.trace.synthetic import generate_contract_trace
+from repro.trace.synthetic import (
+    generate_contract_trace,
+    generate_false_sharing_trace,
+)
 from repro.verify.reference import (
     READ_VALUE_OPS,
     WRITE_OPS,
@@ -52,6 +62,7 @@ __all__ = [
     "FuzzReport",
     "run_case",
     "run_fuzz",
+    "run_lazypim_case",
 ]
 
 #: Invariant-check period for the checked replay passes.
@@ -276,6 +287,227 @@ def run_case(
     return refs
 
 
+def run_lazypim_case(
+    trace: TraceBuffer,
+    config: SimulationConfig,
+    n_pes: int,
+    cluster_counts: Sequence[int] = (1, 2),
+    check_every: int = _CHECK_EVERY,
+    batch_refs: int = DEFAULT_BATCH_REFS,
+    signature_bits: int = DEFAULT_SIGNATURE_BITS,
+    require_rollback: bool = False,
+) -> int:
+    """Run one trace through every speculative path; raise on divergence.
+
+    The ``mode="lazypim"`` counterpart of :func:`run_case`.  Paths
+    exercised: (1) the per-access speculative driver with data tracking
+    and the flat-memory value check — every read inside every batch
+    (including the doomed attempt's pessimistic replay) must match the
+    flat model, which is exactly the "rollbacks are invisible" oracle;
+    (1b) final-memory identity against a pessimistic replay after a
+    full writeback; (2/2b) interpreted and generated kernels driving
+    the batches, counter-identical; (2c) chunked feeding through
+    :class:`~repro.core.speculative.SpeculativeDriver` split mid-trace
+    (the ``repro serve`` streaming seam) must reproduce the monolithic
+    batch boundaries bit for bit; (3) the checked loop with the
+    invariant battery at batch boundaries; (4) sharded clustered replay
+    per cluster count, interpreted vs generated, with a per-shard value
+    pass for multi-cluster runs (speculation is per-bus, so each
+    cluster batches independently; there is no interleaved speculative
+    path).  With *require_rollback* the case additionally fails unless
+    at least one batch actually rolled back — the forced-conflict fuzz
+    rotation uses it so a silently-too-weak conflict generator cannot
+    pass.  Returns the number of references replayed, summed over paths.
+    """
+    base = replace(config, track_data=False)
+    data_config = replace(config, track_data=True)
+    refs = 0
+
+    # (1) Value pass: the speculative driver against the flat model.
+    system = PIMCacheSystem(data_config, n_pes)
+    flat_stats = replay_speculative(
+        trace,
+        system=system,
+        batch_refs=batch_refs,
+        signature_bits=signature_bits,
+        values=value_for,
+        on_result=_flat_checker({}, n_pes),
+    )
+    flat = flat_stats.as_dict()
+    refs += len(trace)
+    if require_rollback and flat_stats.batch_rollbacks == 0:
+        raise Divergence(
+            "no-rollback",
+            f"forced-conflict trace committed all "
+            f"{flat_stats.batch_commits} batches without a single "
+            "rollback — the conflict generator is too weak",
+        )
+
+    # (1b) Rollback invisibility in final state: after a full
+    # writeback, the speculative run's memory image must equal a
+    # pessimistic replay's.
+    reference_system = PIMCacheSystem(data_config, n_pes)
+    replay_access_driven(trace, reference_system, values=value_for)
+    refs += len(trace)
+    system.flush_all(silent=True)
+    reference_system.flush_all(silent=True)
+    if system.memory != reference_system.memory:
+        raise Divergence(
+            "lazypim-memory",
+            "speculative final memory differs from the pessimistic "
+            "replay's after writeback — a rollback leaked state",
+        )
+
+    # (2) Interpreted kernel driving the batches: counters must be
+    # identical to the per-access driver.
+    interpreted = replay(
+        trace,
+        base,
+        n_pes=n_pes,
+        kernel="interpreted",
+        mode="lazypim",
+        batch_refs=batch_refs,
+        signature_bits=signature_bits,
+    ).as_dict()
+    refs += len(trace)
+    if interpreted != flat:
+        raise Divergence(
+            "lazypim-kernel",
+            "speculative interpreted kernel disagrees with the "
+            "per-access driver: "
+            + _dict_diff("kernel", interpreted, "access", flat),
+        )
+
+    # (2b) Generated kernel driving the batches.
+    if codegen.available():
+        generated = replay(
+            trace,
+            base,
+            n_pes=n_pes,
+            kernel="generated",
+            mode="lazypim",
+            batch_refs=batch_refs,
+            signature_bits=signature_bits,
+        ).as_dict()
+        refs += len(trace)
+        if generated != flat:
+            raise Divergence(
+                "lazypim-generated",
+                "speculative generated kernel disagrees with the "
+                "per-access driver: "
+                + _dict_diff("generated", generated, "access", flat),
+            )
+
+    # (2c) Chunk-boundary independence: feeding the trace in two pieces
+    # must reproduce the monolithic batch segmentation (this is the
+    # property ``repro serve`` streaming and its checkpoints lean on).
+    if len(trace) >= 2:
+        chunked_system = PIMCacheSystem(base, n_pes)
+        driver = SpeculativeDriver(
+            chunked_system,
+            batch_refs=batch_refs,
+            signature_bits=signature_bits,
+        )
+        mid = len(trace) // 2
+        driver.feed(trace.slice(0, mid))
+        driver.feed(trace.slice(mid, len(trace)))
+        chunked = driver.flush().as_dict()
+        refs += len(trace)
+        if chunked != flat:
+            raise Divergence(
+                "lazypim-chunked",
+                "chunked speculative feed disagrees with the monolithic "
+                "run: " + _dict_diff("chunked", chunked, "monolithic", flat),
+            )
+
+    # (3) Checked loop: structural invariants at batch boundaries.
+    try:
+        checked = replay_speculative(
+            trace,
+            base,
+            n_pes=n_pes,
+            check_invariants_every=check_every,
+            batch_refs=batch_refs,
+            signature_bits=signature_bits,
+        ).as_dict()
+    except AssertionError as error:
+        raise Divergence("invariant", str(error)) from error
+    refs += len(trace)
+    if checked != flat:
+        raise Divergence(
+            "lazypim-checked",
+            "checked speculative replay disagrees with the per-access "
+            "driver: " + _dict_diff("checked", checked, "access", flat),
+        )
+
+    # (4) Clustered speculation: each shard batches independently.
+    for n_clusters in cluster_counts:
+        if n_pes % n_clusters:
+            continue
+        clustered_config = base.with_clusters(n_clusters)
+        sharded = replay_clustered(
+            trace,
+            clustered_config,
+            n_pes=n_pes,
+            kernel="interpreted",
+            mode="lazypim",
+            batch_refs=batch_refs,
+            signature_bits=signature_bits,
+        )
+        refs += len(trace)
+        if n_clusters == 1 and sharded.stats.as_dict() != flat:
+            raise Divergence(
+                "lazypim-cluster",
+                "K=1 speculative clustered replay disagrees with the "
+                "flat system: "
+                + _dict_diff("clustered", sharded.stats.as_dict(),
+                             "flat", flat),
+            )
+        if codegen.available():
+            sharded_generated = replay_clustered(
+                trace,
+                clustered_config,
+                n_pes=n_pes,
+                kernel="generated",
+                mode="lazypim",
+                batch_refs=batch_refs,
+                signature_bits=signature_bits,
+            )
+            refs += len(trace)
+            if sharded_generated.as_dict() != sharded.as_dict():
+                raise Divergence(
+                    "lazypim-cluster",
+                    f"K={n_clusters} speculative sharded replay differs "
+                    "between kernels: "
+                    + _dict_diff(
+                        "generated", sharded_generated.as_dict(),
+                        "interpreted", sharded.as_dict(),
+                    ),
+                )
+        if n_clusters > 1:
+            # Per-shard value pass: clusters share nothing, so each
+            # shard is a closed trace with its own flat memory (and its
+            # own shard-local value function — self-consistent).
+            pes_per_cluster = n_pes // n_clusters
+            shards = split_trace(trace, n_pes, n_clusters)
+            for cluster_index, shard in enumerate(shards):
+                shard_system = ClusterCacheSystem(
+                    replace(clustered_config, track_data=True),
+                    pes_per_cluster,
+                    cluster_index,
+                )
+                replay_speculative(
+                    shard,
+                    system=shard_system,
+                    batch_refs=batch_refs,
+                    signature_bits=signature_bits,
+                    values=value_for,
+                    on_result=_flat_checker({}, pes_per_cluster),
+                )
+                refs += len(shard)
+    return refs
+
+
 @dataclass
 class FuzzCase:
     """Outcome of one fuzz case."""
@@ -290,11 +522,13 @@ class FuzzCase:
     detail: Optional[str] = None
     index: Optional[int] = None
     shrunk_refs: Optional[List[str]] = None
+    mode: str = "pessimistic"
 
     def as_dict(self) -> dict:
         return {
             "protocol": self.protocol,
             "variant": self.variant,
+            "mode": self.mode,
             "seed": self.seed,
             "n_refs": self.n_refs,
             "refs_run": self.refs_run,
@@ -332,9 +566,11 @@ class FuzzReport:
         lines = []
         for case in self.cases:
             status = "ok" if case.ok else f"DIVERGED [{case.kind}]"
+            label = f"{case.protocol}/{case.variant}"
+            if case.mode != "pessimistic":
+                label = f"{case.protocol}/{case.mode}-{case.variant}"
             lines.append(
-                f"{case.protocol}/{case.variant} seed={case.seed} "
-                f"({case.n_refs} refs): {status}"
+                f"{label} seed={case.seed} ({case.n_refs} refs): {status}"
             )
             if not case.ok:
                 lines.append(f"  {case.detail}")
@@ -384,12 +620,16 @@ def _reproduces(
     config: SimulationConfig,
     n_pes: int,
     cluster_counts: Sequence[int],
+    mode: str = "pessimistic",
 ):
     """Shrinking predicate: does the candidate still diverge the same way?"""
 
     def predicate(candidate: TraceBuffer) -> bool:
         try:
-            run_case(candidate, config, n_pes, cluster_counts)
+            if mode == "lazypim":
+                run_lazypim_case(candidate, config, n_pes, cluster_counts)
+            else:
+                run_case(candidate, config, n_pes, cluster_counts)
         except Divergence as divergence:
             return divergence.kind == kind
         except ReplayBlockedError:
@@ -409,6 +649,7 @@ def run_fuzz(
     shrink: bool = True,
     max_shrink_evals: int = 128,
     interconnect: Optional[str] = None,
+    modes: Sequence[str] = ("pessimistic",),
 ) -> FuzzReport:
     """Fuzz every replay path until *budget* references have been run.
 
@@ -420,20 +661,45 @@ def run_fuzz(
     ``(seed, budget)`` alone.  Divergent traces are shrunk (bounded by
     *max_shrink_evals* predicate evaluations) and the reduced reference
     list is attached to the case record.
+
+    With ``"lazypim"`` in *modes*, the rotation additionally covers the
+    speculative path (:func:`run_lazypim_case`): per protocol a
+    forced-conflict case on a false-sharing trace (which must observe
+    at least one rollback — see
+    :func:`~repro.trace.synthetic.generate_false_sharing_trace`), a
+    contract-trace case on the bus backend, and one on the directory
+    backend.  The forced-conflict combos are ordered first so every
+    fuzz budget, however small, exercises a real rollback.
     """
     names = list(protocols) if protocols else protocol_names()
-    combos = [
-        (protocol, variant, config)
-        for protocol in names
-        for variant, config in _variants(protocol).items()
-    ]
+    combos = []
+    if "lazypim" in modes:
+        # Conflict cases first: any budget covers at least one rollback.
+        for protocol in names:
+            base = SimulationConfig(protocol=protocol)
+            combos.append((protocol, "conflict", base, "lazypim"))
+        for protocol in names:
+            base = SimulationConfig(protocol=protocol)
+            combos.append((protocol, "base", base, "lazypim"))
+            combos.append(
+                (protocol, "directory",
+                 base.with_interconnect("directory"), "lazypim")
+            )
+    if "pessimistic" in modes:
+        combos.extend(
+            (protocol, variant, config, "pessimistic")
+            for protocol in names
+            for variant, config in _variants(protocol).items()
+        )
+    if not combos:
+        raise ValueError(f"no known mode in {list(modes)!r}")
     if interconnect is not None:
         # Force every variant onto one backend (the CLI's
         # ``--interconnect``); the dedicated "directory" variant is
         # dropped since it would duplicate a forced base.
         combos = [
-            (protocol, variant, config.with_interconnect(interconnect))
-            for protocol, variant, config in combos
+            (protocol, variant, config.with_interconnect(interconnect), mode)
+            for protocol, variant, config, mode in combos
             if variant != "directory"
         ]
     report = FuzzReport(
@@ -444,13 +710,25 @@ def run_fuzz(
     )
     case_number = 0
     while report.refs_total < budget:
-        protocol, variant, config = combos[case_number % len(combos)]
+        protocol, variant, config, mode = combos[case_number % len(combos)]
         case_seed = seed + 7919 * case_number  # distinct, reproducible
-        trace = generate_contract_trace(
-            refs_per_case, n_pes=n_pes, seed=case_seed, opts=config.opts
-        )
+        forced_conflict = mode == "lazypim" and variant == "conflict"
+        if forced_conflict:
+            trace = generate_false_sharing_trace(
+                refs_per_case, n_pes=n_pes, seed=case_seed
+            )
+        else:
+            trace = generate_contract_trace(
+                refs_per_case, n_pes=n_pes, seed=case_seed, opts=config.opts
+            )
         try:
-            refs_run = run_case(trace, config, n_pes, cluster_counts)
+            if mode == "lazypim":
+                refs_run = run_lazypim_case(
+                    trace, config, n_pes, cluster_counts,
+                    require_rollback=forced_conflict,
+                )
+            else:
+                refs_run = run_case(trace, config, n_pes, cluster_counts)
             report.cases.append(FuzzCase(
                 protocol=protocol,
                 variant=variant,
@@ -458,6 +736,7 @@ def run_fuzz(
                 n_refs=len(trace),
                 refs_run=refs_run,
                 ok=True,
+                mode=mode,
             ))
         except Divergence as divergence:
             shrunk_refs = None
@@ -465,7 +744,8 @@ def run_fuzz(
                 reduced = shrink_trace(
                     trace,
                     _reproduces(
-                        divergence.kind, config, n_pes, cluster_counts
+                        divergence.kind, config, n_pes, cluster_counts,
+                        mode=mode,
                     ),
                     max_evals=max_shrink_evals,
                 )
@@ -481,6 +761,7 @@ def run_fuzz(
                 detail=divergence.detail,
                 index=divergence.index,
                 shrunk_refs=shrunk_refs,
+                mode=mode,
             ))
         case_number += 1
     return report

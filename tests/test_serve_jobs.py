@@ -184,6 +184,48 @@ def test_run_job_is_idempotent_once_done(tmp_path, job_trace):
     assert len(store.heartbeats(job_id)) == beats_after_first
 
 
+def test_killed_worker_resumes_lazypim_to_identical_result(
+    tmp_path, monkeypatch
+):
+    """A worker SIGKILLed mid-batch in speculative mode resumes from
+    the last checkpoint to counters bit-identical to an undisturbed
+    streamed run — checkpoints only land on settled batch commits."""
+    from repro.serve.stream import replay_stream
+    from repro.trace.synthetic import generate_false_sharing_trace
+
+    trace = generate_false_sharing_trace(6_000, n_pes=4, seed=8)
+    undisturbed = replay_stream(
+        trace,
+        SimulationConfig(),
+        chunk_refs=500,
+        mode="lazypim",
+        batch_refs=100,
+    ).as_dict()
+    assert undisturbed["batch_rollbacks"] > 0
+
+    store = JobStore(tmp_path / "store")
+    job_id = store.submit(
+        SimulationConfig(),
+        trace,
+        chunk_refs=500,
+        checkpoint_every=2,
+        mode="lazypim",
+        batch_refs=100,
+    )
+    monkeypatch.setenv(FAULT_KILL_ENV, "5")
+    record = JobServer(store).run_job(job_id)
+    assert record["state"] == "done"
+    assert record["retries"] == 1
+    assert record["mode"] == "lazypim"
+    assert store.result(job_id)["stats"] == undisturbed
+
+
+def test_submit_rejects_unknown_mode(tmp_path, job_trace):
+    store = JobStore(tmp_path / "store")
+    with pytest.raises(JobError):
+        _submit(store, job_trace, mode="eager")
+
+
 # ---------------------------------------------------------------------------
 # SweepPool worker death surfaces, it does not hang.
 
@@ -204,6 +246,36 @@ def test_sweep_pool_worker_death_raises_structured_error(job_trace):
         assert info.value.jobs == 2
         assert info.value.n_configs == 2
         assert "repro serve" in str(info.value)
+
+
+def test_sweep_pool_retry_after_restart_is_bit_identical(
+    job_trace, monkeypatch
+):
+    """Regression: respawned workers must initialize from the pool's
+    construction-time state.  Reading ``REPRO_REPLAY_KERNEL`` at
+    respawn time used to let an environment change between the original
+    spawn and the retry silently switch kernels mid-sweep."""
+    from repro.analysis.parallel import SweepPool, SweepWorkerError
+
+    configs = [SimulationConfig(), SimulationConfig(protocol="illinois")]
+    with SweepPool(job_trace, jobs=2, kernel="interpreted") as pool:
+        if pool.kind != "persistent":
+            pytest.skip("single-CPU host: no worker processes to kill")
+        pool.warm()
+        baseline = [stats.as_dict() for stats in pool.map(configs)]
+        victim = next(iter(pool._pool._processes))
+        os.kill(victim, signal.SIGKILL)
+        monkeypatch.setenv("REPRO_REPLAY_KERNEL", "generated")
+        deadline = time.monotonic() + 30
+        with pytest.raises(SweepWorkerError):
+            while time.monotonic() < deadline:
+                pool.map(configs)
+        # The pool already respawned; the retry must run with the
+        # pinned construction-time kernel and reproduce the sweep
+        # bit for bit despite the changed environment.
+        assert pool._initargs[-1] == "interpreted"
+        retried = [stats.as_dict() for stats in pool.map(configs)]
+        assert retried == baseline
 
 
 # ---------------------------------------------------------------------------

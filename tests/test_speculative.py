@@ -1,0 +1,414 @@
+"""Speculative batch coherence (LazyPIM mode): units and identities.
+
+The engine's contract (docs/SPECULATIVE.md) is tested from four sides:
+
+* **planning** — lock operations and contended references force early
+  batch commits (they run as non-speculative singletons), everything
+  else chops into ``batch_refs``-sized spans;
+* **signatures** — the commit test fires exactly on cross-PE write
+  intersections, and its false-positive rate is monotone in the
+  signature width (hypothesis);
+* **identities** — batch size 1 is counter-identical to the pessimistic
+  path for every registered protocol, commit/rollback counters are
+  deterministic across kernels and cluster counts, the cycle-ledger
+  exact-sum invariant survives bulk settlement, and streamed/chunked
+  execution reproduces the monolithic run;
+* **rollback** — conflicting batches roll back invisibly (final memory
+  equals the pessimistic run), including across a persisted checkpoint
+  boundary, and the snapshot never aliases live cache-line data (the
+  regression that once leaked a future write backward through a
+  rollback).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.replay import replay_clustered
+from repro.core.config import SimulationConfig
+from repro.core.protocol import codegen, protocol_names
+from repro.core.replay import replay
+from repro.core.speculative import (
+    SpeculativeDriver,
+    batch_signatures,
+    plan_batches,
+    replay_speculative,
+    signatures_conflict,
+)
+from repro.core.system import PIMCacheSystem
+from repro.obs.metrics import cycle_ledger
+from repro.serve.checkpoint import restore, restore_into, snapshot
+from repro.serve.stream import replay_stream
+from repro.trace.buffer import TraceBuffer
+from repro.trace.events import AREA_BASE, FLAG_LOCK_CONTENDED, Area, Op
+from repro.trace.synthetic import (
+    generate_contract_trace,
+    generate_false_sharing_trace,
+)
+
+HEAP = AREA_BASE[Area.HEAP]
+
+KERNELS = ["interpreted"] + (["generated"] if codegen.available() else [])
+
+SPECULATIVE_COUNTERS = {
+    "batch_commits",
+    "batch_rollbacks",
+    "signature_settles",
+    "batch_elided_invalidations",
+}
+
+
+def _strip(stats_dict):
+    return {
+        key: value
+        for key, value in stats_dict.items()
+        if key not in SPECULATIVE_COUNTERS
+    }
+
+
+# ---------------------------------------------------------------------------
+# Batch planning.
+
+
+def test_plan_batches_chops_and_isolates_locks():
+    trace = TraceBuffer(n_pes=2)
+    for i in range(10):
+        trace.append(i % 2, Op.R, Area.HEAP, HEAP + 4 * i)
+    trace.append(0, Op.LR, Area.HEAP, HEAP + 4096)
+    for i in range(5):
+        trace.append(i % 2, Op.W, Area.HEAP, HEAP + 4 * i)
+    assert plan_batches(trace, 4) == [
+        (0, 4, True),
+        (4, 8, True),
+        (8, 10, True),
+        (10, 11, False),
+        (11, 15, True),
+        (15, 16, True),
+    ]
+
+
+def test_plan_batches_contended_flag_is_a_barrier():
+    trace = TraceBuffer(n_pes=2)
+    trace.append(0, Op.R, Area.HEAP, HEAP)
+    trace.append(1, Op.R, Area.HEAP, HEAP + 4, flags=FLAG_LOCK_CONTENDED)
+    trace.append(0, Op.R, Area.HEAP, HEAP + 8)
+    assert plan_batches(trace, 8) == [
+        (0, 1, True),
+        (1, 2, False),
+        (2, 3, True),
+    ]
+
+
+def test_plan_batches_empty_and_window():
+    assert plan_batches(TraceBuffer(n_pes=2), 4) == []
+    trace = TraceBuffer(n_pes=2)
+    for i in range(6):
+        trace.append(0, Op.R, Area.HEAP, HEAP + 4 * i)
+    assert plan_batches(trace, 4, start=2, stop=5) == [(2, 5, True)]
+
+
+# ---------------------------------------------------------------------------
+# Signatures and the conflict verdict.
+
+
+def test_signatures_split_reads_from_writes():
+    trace = TraceBuffer(n_pes=2)
+    trace.append(0, Op.W, Area.HEAP, HEAP)
+    trace.append(0, Op.DW, Area.HEAP, HEAP + 4)
+    trace.append(1, Op.R, Area.HEAP, HEAP + 64)
+    reads, writes = batch_signatures(trace, 0, 3, 2, 2, 256)
+    assert writes[0] and not reads[0]
+    assert reads[1] and not writes[1]
+    assert not signatures_conflict(reads, writes)
+
+
+def test_conflict_fires_on_cross_pe_write_intersection():
+    trace = TraceBuffer(n_pes=2)
+    trace.append(0, Op.W, Area.HEAP, HEAP)
+    trace.append(1, Op.R, Area.HEAP, HEAP + 1)  # same block, other PE
+    reads, writes = batch_signatures(trace, 0, 2, 2, 2, 256)
+    assert signatures_conflict(reads, writes)
+    # A PE never conflicts with itself.
+    trace = TraceBuffer(n_pes=2)
+    trace.append(0, Op.W, Area.HEAP, HEAP)
+    trace.append(0, Op.R, Area.HEAP, HEAP + 1)
+    reads, writes = batch_signatures(trace, 0, 2, 2, 2, 256)
+    assert not signatures_conflict(reads, writes)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 3),       # pe
+            st.booleans(),           # write?
+            st.integers(0, 1 << 14)  # block
+        ),
+        min_size=1,
+        max_size=64,
+    )
+)
+def test_conflict_verdict_monotone_in_signature_width(refs):
+    """A conflict at width 2w is also a conflict at width w: truncating
+    the hash can only merge bits, never separate them, so the
+    false-positive rate is monotone non-increasing in the width."""
+    trace = TraceBuffer(n_pes=4)
+    for pe, is_write, block in refs:
+        trace.append(pe, Op.W if is_write else Op.R, Area.HEAP,
+                     HEAP + block * 4)
+    verdicts = []
+    for width in (4, 8, 16, 32, 64, 128, 256):
+        reads, writes = batch_signatures(trace, 0, len(trace), 4, 2, width)
+        verdicts.append(signatures_conflict(reads, writes))
+    for narrow, wide in zip(verdicts, verdicts[1:]):
+        assert narrow or not wide
+
+
+# ---------------------------------------------------------------------------
+# Degenerate batch: size 1 IS the pessimistic protocol.
+
+
+@pytest.mark.parametrize("protocol", list(protocol_names()))
+def test_batch_one_counter_identical_per_protocol(protocol):
+    trace = generate_contract_trace(2_500, n_pes=4, seed=11)
+    config = SimulationConfig(protocol=protocol)
+    base = replay(trace, config).as_dict()
+    lazy = replay(trace, config, mode="lazypim", batch_refs=1).as_dict()
+    assert lazy == base  # speculative counters included: all zero
+
+
+def test_forced_batch_one_differs_only_in_speculative_counters():
+    """force_speculation runs the full defer/settle machinery per
+    reference; deferral plus immediate settlement must price exactly
+    like live charging."""
+    trace = generate_contract_trace(2_000, n_pes=4, seed=3)
+    base = replay(trace, SimulationConfig()).as_dict()
+    forced = replay_speculative(
+        trace, SimulationConfig(), batch_refs=1, force_speculation=True
+    ).as_dict()
+    assert _strip(forced) == _strip(base)
+    assert forced["batch_rollbacks"] == 0
+    assert forced["batch_commits"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Determinism across kernels and cluster counts.
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 1 << 10))
+def test_commit_rollback_counters_deterministic(seed):
+    trace = generate_false_sharing_trace(1_200, n_pes=4, seed=seed)
+    config = SimulationConfig()
+    flat = replay(
+        trace, config, kernel="interpreted", mode="lazypim", batch_refs=64
+    ).as_dict()
+    for kernel in KERNELS[1:]:
+        assert (
+            replay(
+                trace, config, kernel=kernel, mode="lazypim", batch_refs=64
+            ).as_dict()
+            == flat
+        )
+    clustered = replay_clustered(
+        trace,
+        config.with_clusters(2),
+        kernel="interpreted",
+        mode="lazypim",
+        batch_refs=64,
+    )
+    for kernel in KERNELS[1:]:
+        again = replay_clustered(
+            trace,
+            config.with_clusters(2),
+            kernel=kernel,
+            mode="lazypim",
+            batch_refs=64,
+        )
+        assert again.stats.as_dict() == clustered.stats.as_dict()
+
+
+def test_lazypim_rolls_back_on_false_sharing():
+    trace = generate_false_sharing_trace(2_000, n_pes=4, seed=2)
+    stats = replay(trace, SimulationConfig(), mode="lazypim", batch_refs=64)
+    assert stats.batch_rollbacks > 0
+    assert stats.total_refs == len(trace)
+
+
+# ---------------------------------------------------------------------------
+# Cycle-ledger exact-sum identity under bulk settlement.
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("interconnect", ["bus", "directory"])
+def test_cycle_ledger_exact_under_lazypim(kernel, interconnect):
+    trace = generate_contract_trace(3_000, n_pes=4, seed=7)
+    stats = replay(
+        trace,
+        SimulationConfig(interconnect=interconnect),
+        kernel=kernel,
+        mode="lazypim",
+    )
+    ledger = cycle_ledger(stats)  # verify=True raises on any mismatch
+    assert ledger.attributed_total == ledger.pe_cycles_total
+    assert stats.batch_commits > 0
+
+
+def test_cycle_ledger_exact_under_rollback_storm():
+    trace = generate_false_sharing_trace(2_000, n_pes=4, seed=5)
+    stats = replay(trace, SimulationConfig(), mode="lazypim", batch_refs=64)
+    assert stats.batch_rollbacks > 0
+    cycle_ledger(stats)
+
+
+# ---------------------------------------------------------------------------
+# Locks force early commits.
+
+
+def test_lock_access_forces_early_batch_commit():
+    trace = TraceBuffer(n_pes=2)
+    for i in range(6):
+        pe = i % 2
+        trace.append(pe, Op.R, Area.HEAP, HEAP + pe * 64 + 4 * (i // 2))
+    trace.append(0, Op.LR, Area.HEAP, HEAP + 4096)
+    trace.append(0, Op.UW, Area.HEAP, HEAP + 4096)
+    for i in range(6):
+        pe = i % 2
+        trace.append(pe, Op.W, Area.HEAP, HEAP + 512 + pe * 64 + 4 * (i // 2))
+    stats = replay(trace, SimulationConfig(), mode="lazypim", batch_refs=256)
+    # 14 references fit one batch, but the adjacent LH/UL pair splits
+    # the stream into two speculative spans around two pessimistic
+    # singletons — one commit more than the lock-free stream.
+    assert stats.batch_commits == 2
+    assert stats.batch_rollbacks == 0
+    assert stats.total_refs == len(trace)
+
+    lock_free = TraceBuffer(n_pes=2)
+    for pe, op, area, addr, flags in trace:
+        if op not in (Op.LR, Op.UW):
+            lock_free.append(pe, op, area, addr, flags)
+    baseline = replay(
+        lock_free, SimulationConfig(), mode="lazypim", batch_refs=256
+    )
+    assert baseline.batch_commits == 1
+
+
+# ---------------------------------------------------------------------------
+# Rollback correctness.
+
+
+def test_rollbacks_invisible_in_final_memory():
+    trace = generate_false_sharing_trace(2_000, n_pes=4, seed=2)
+    config = SimulationConfig(track_data=True)
+    speculative = PIMCacheSystem(config, 4)
+    stats = replay_speculative(trace, system=speculative, batch_refs=64)
+    assert stats.batch_rollbacks > 0
+    pessimistic = PIMCacheSystem(config, 4)
+    replay(trace, system=pessimistic)
+    speculative.flush_all(silent=True)
+    pessimistic.flush_all(silent=True)
+    assert speculative.memory == pessimistic.memory
+
+
+def test_rollback_spans_checkpoint_boundary():
+    """Snapshot mid-run, continue through batches that roll back; a
+    resume from the persisted (JSON round-tripped) checkpoint must
+    reproduce the undisturbed continuation bit-for-bit."""
+    trace = generate_false_sharing_trace(1_600, n_pes=4, seed=4)
+    config = SimulationConfig()
+    live = PIMCacheSystem(config, 4)
+    driver = SpeculativeDriver(live, batch_refs=64)
+    driver.feed(trace.slice(0, 800))
+    done = driver.refs_done  # 768: the last complete batch boundary
+    checkpoint = json.loads(json.dumps(snapshot(live)))
+    driver.feed(trace.slice(800, len(trace)))
+    reference = driver.flush().as_dict()
+    assert reference["batch_rollbacks"] > 0
+
+    resumed = restore(checkpoint)
+    resumed_driver = SpeculativeDriver(resumed, batch_refs=64)
+    resumed_driver.feed(trace.slice(done, len(trace)))
+    assert resumed_driver.flush().as_dict() == reference
+
+
+def test_snapshot_does_not_alias_cached_line_data():
+    """Regression: cache-line data lists are mutated in place by the
+    system, so an aliasing snapshot decays as the run continues — the
+    bug once let a rolled-back batch's future write leak backward."""
+    config = SimulationConfig(track_data=True)
+    system = PIMCacheSystem(config, 2)
+    system.access(0, Op.W, Area.HEAP, HEAP, 7)
+    state = snapshot(system)
+    frozen = json.dumps(state, sort_keys=True)
+    system.access(0, Op.W, Area.HEAP, HEAP, 99)  # in-place line mutation
+    assert json.dumps(state, sort_keys=True) == frozen
+    restore_into(system, state)
+    assert system.access(0, Op.R, Area.HEAP, HEAP)[2] == 7
+
+
+# ---------------------------------------------------------------------------
+# Chunked and streamed execution.
+
+
+def test_driver_chunked_feed_matches_monolithic():
+    trace = generate_contract_trace(3_000, n_pes=4, seed=13)
+    config = SimulationConfig()
+    mono = replay(trace, config, mode="lazypim", batch_refs=64).as_dict()
+    system = PIMCacheSystem(config, 4)
+    driver = SpeculativeDriver(system, batch_refs=64)
+    for lo in range(0, len(trace), 333):
+        driver.feed(trace.slice(lo, min(lo + 333, len(trace))))
+    assert driver.flush().as_dict() == mono
+
+
+def test_replay_stream_lazypim_matches_monolithic_when_aligned():
+    # chunk_refs a multiple of batch_refs and a barrier-free trace:
+    # the documented condition for streamed == monolithic counters.
+    trace = generate_false_sharing_trace(1_024, n_pes=4, seed=9)
+    config = SimulationConfig()
+    streamed = replay_stream(
+        trace, config, chunk_refs=256, mode="lazypim", batch_refs=64
+    ).as_dict()
+    mono = replay(trace, config, mode="lazypim", batch_refs=64).as_dict()
+    assert streamed == mono
+    assert streamed["batch_rollbacks"] > 0
+
+
+def test_invariants_checked_at_batch_boundaries_on_directory():
+    trace = generate_false_sharing_trace(1_500, n_pes=4, seed=3)
+    stats = replay_speculative(
+        trace,
+        SimulationConfig(interconnect="directory"),
+        batch_refs=64,
+        check_invariants_every=128,
+    )
+    assert stats.batch_rollbacks > 0
+
+
+# ---------------------------------------------------------------------------
+# Argument validation.
+
+
+def test_unknown_mode_rejected():
+    trace = generate_false_sharing_trace(16, n_pes=2, seed=0)
+    with pytest.raises(ValueError, match="unknown replay mode"):
+        replay(trace, SimulationConfig(), mode="eager")
+
+
+def test_driver_rejects_bad_knobs():
+    system = PIMCacheSystem(SimulationConfig(), 2)
+    with pytest.raises(ValueError, match="batch_refs"):
+        SpeculativeDriver(system, batch_refs=0)
+    with pytest.raises(ValueError, match="signature_bits"):
+        SpeculativeDriver(system, signature_bits=3)
+
+
+def test_driver_rejects_clustered_systems():
+    from repro.cluster.system import ClusteredSystem
+
+    clustered = ClusteredSystem(SimulationConfig().with_clusters(2), 4)
+    with pytest.raises(TypeError, match="replay_clustered"):
+        SpeculativeDriver(clustered)

@@ -236,3 +236,62 @@ def test_run_case_raises_divergence_on_broken_protocol():
         )
         with pytest.raises(Divergence):
             run_case(trace, config, n_pes=4)
+
+# ---------------------------------------------------------------------------
+# The speculative (lazypim) oracle rotation.
+
+
+def test_lazypim_fuzz_rotation_leads_with_a_forced_conflict():
+    from repro.verify import run_fuzz as fuzz
+
+    report = fuzz(
+        seed=0,
+        budget=2_000,
+        refs_per_case=1_000,
+        protocols=["pim"],
+        modes=("lazypim",),
+    )
+    assert report.clean, report.render()
+    # The conflict variant is ordered first so ANY budget exercises at
+    # least one real rollback (run_lazypim_case enforces it happened).
+    first = report.cases[0]
+    assert first.mode == "lazypim"
+    assert first.variant == "conflict"
+    assert "lazypim-conflict" in report.render()
+    assert report.as_dict()["cases"][0]["mode"] == "lazypim"
+
+
+def test_lazypim_fuzz_is_reproducible():
+    from repro.verify import run_fuzz as fuzz
+
+    a = fuzz(seed=5, budget=2_000, refs_per_case=500,
+             protocols=["pim"], modes=("lazypim",))
+    b = fuzz(seed=5, budget=2_000, refs_per_case=500,
+             protocols=["pim"], modes=("lazypim",))
+    assert a.as_dict() == b.as_dict()
+
+
+def test_run_lazypim_case_no_rollback_diverges_when_required():
+    from repro.verify import Divergence as Div, run_lazypim_case
+
+    # Per-PE private blocks: every batch commits, so demanding a
+    # rollback must fail loudly — the gate that keeps the
+    # forced-conflict trace generator honest.
+    trace = TraceBuffer(n_pes=2)
+    for i in range(64):
+        pe = i % 2
+        trace.append(pe, Op.W if i % 4 == 0 else Op.R, Area.HEAP,
+                     0x10000000 + pe * 256 + (i // 2) % 32)
+    with pytest.raises(Div, match="no-rollback"):
+        run_lazypim_case(
+            trace,
+            SimulationConfig(),
+            n_pes=2,
+            cluster_counts=(1,),
+            require_rollback=True,
+        )
+
+
+def test_fuzz_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        run_fuzz(seed=0, budget=500, refs_per_case=500, modes=("eager",))
